@@ -1,0 +1,125 @@
+// Command rcepd serves an RFID complex event processing engine over TCP
+// (see internal/wire for the protocol). Edge readers stream observations;
+// every connected client receives rule firings; the embedded RFID data
+// store answers SQL queries.
+//
+// Usage:
+//
+//	rcepd -rules rules.rcep [-addr :7411] [-simtypes] [-snapshot store.json]
+//
+// With -snapshot, the data store is restored from the file at startup and
+// saved back on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rcep"
+	"rcep/internal/sim"
+	"rcep/internal/wire"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "rule script file (required)")
+		addr      = flag.String("addr", "127.0.0.1:7411", "listen address")
+		simTypes  = flag.Bool("simtypes", false, "resolve type(o) via the simulator's GID registry")
+		snapshot  = flag.String("snapshot", "", "checkpoint file: store + in-flight detection state (load at start, save on shutdown)")
+		dedup     = flag.Duration("dedup", 0, "duplicate-read filter window (0 = off)")
+		reorder   = flag.Duration("reorder", 0, "out-of-order tolerance across connections (0 = off)")
+	)
+	flag.Parse()
+	if *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	script, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := rcep.Config{Rules: string(script)}
+	if *simTypes {
+		cfg.TypeOf = sim.NewRegistry().TypeOf
+	}
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			cfg.Checkpoint = f
+			defer f.Close()
+			log.Printf("restoring checkpoint from %s", *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+	cfg.OnDetection = func(d rcep.Detection) {
+		log.Printf("FIRE %s [%v..%v] %v", d.RuleID, d.Begin, d.End, d.Bindings)
+	}
+	var opts []wire.Option
+	if *dedup > 0 {
+		opts = append(opts, wire.WithDedup(*dedup))
+	}
+	if *reorder > 0 {
+		opts = append(opts, wire.WithReorder(*reorder))
+	}
+	srv, err := wire.NewServer(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Unknown procedures log instead of erroring.
+	for _, name := range []string{"send_alarm", "send_duplicate_msg", "mark_duplicate"} {
+		n := name
+		srv.Engine().RegisterProcedure(n, func(ctx rcep.ProcContext, args []any) error {
+			log.Printf("CALL %s%v (rule %s)", n, args, ctx.RuleID)
+			return nil
+		})
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("rcepd listening on %s with %s", l.Addr(), *rulesPath)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("shutting down")
+		if *snapshot != "" {
+			if err := saveSnapshot(srv.Engine(), *snapshot); err != nil {
+				log.Printf("snapshot save failed: %v", err)
+			} else {
+				log.Printf("data store saved to %s", *snapshot)
+			}
+		}
+		l.Close()
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func saveSnapshot(eng *rcep.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command rcepfmt parses a rule script and reprints it in canonical form
+// (aliases expanded, constructor syntax normalized, SQL reformatted) —
+// gofmt for rcep rules. With -check it exits non-zero when the input is
+// not already canonical.
+//
+// Usage:
+//
+//	rcepfmt rules.rcep            # print canonical form
+//	rcepfmt -w rules.rcep         # rewrite in place
+//	rcepfmt -check rules.rcep     # lint
+//	rcepfmt < rules.rcep          # filter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"rcep/internal/rules"
+)
+
+func main() {
+	var (
+		write = flag.Bool("w", false, "rewrite the file in place")
+		check = flag.Bool("check", false, "exit 1 if the input is not canonical")
+	)
+	flag.Parse()
+
+	var src []byte
+	var err error
+	path := ""
+	if flag.NArg() >= 1 {
+		path = flag.Arg(0)
+		src, err = os.ReadFile(path)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := rules.ParseScript(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := rules.Format(rs)
+	switch {
+	case *check:
+		if out != string(src) {
+			fmt.Fprintln(os.Stderr, "not canonical")
+			os.Exit(1)
+		}
+	case *write && path != "":
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Print(out)
+	}
+}

@@ -1,0 +1,75 @@
+// Command rcepq queries a running rcepd daemon: it dials the wire
+// protocol, runs one SQL statement against the server's RFID data store
+// and prints the result.
+//
+// Usage:
+//
+//	rcepq -addr 127.0.0.1:7411 "SELECT * FROM OBJECTLOCATION WHERE tend = 'UC'"
+//	rcepq -addr 127.0.0.1:7411 -watch   # stream rule firings instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"rcep/internal/wire"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7411", "rcepd address")
+		watch = flag.Bool("watch", false, "stream rule firings until interrupted")
+	)
+	flag.Parse()
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *watch {
+		c.OnFire = func(m wire.Message) {
+			fmt.Printf("%s  %-12s [%v .. %v] %v\n",
+				time.Now().Format(time.TimeOnly), m.Rule,
+				time.Duration(m.BeginNS), time.Duration(m.EndNS), m.Bindings)
+		}
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt)
+		fmt.Fprintf(os.Stderr, "watching firings on %s (ctrl-c to stop)\n", *addr)
+		<-sigs
+		if stats, err := c.Close(); err == nil {
+			fmt.Fprintf(os.Stderr, "server totals: %d observations, %d detections\n",
+				stats.Observations, stats.Detections)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rcepq [-addr host:port] 'SELECT ...' | rcepq -watch")
+		os.Exit(2)
+	}
+	cols, rows, err := c.Query(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cols)
+	for _, r := range rows {
+		out := make([]any, len(r))
+		for i, v := range r {
+			if ns, ok := v.(float64); ok && ns > 1e6 {
+				// JSON numbers for durations come back as float64 ns.
+				out[i] = time.Duration(int64(ns))
+			} else {
+				out[i] = v
+			}
+		}
+		fmt.Println(out...)
+	}
+	if _, err := c.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package rcep_test
+
+import (
+	"fmt"
+	"time"
+
+	"rcep"
+)
+
+// The paper's Rule 1: mark re-reads of the same object by the same reader
+// within five seconds as duplicates.
+func ExampleNew() {
+	eng, err := rcep.New(rcep.Config{
+		Rules: `
+CREATE RULE r1, duplicate detection rule
+ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+IF true
+DO send_duplicate_msg(o)
+`,
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng.RegisterProcedure("send_duplicate_msg", func(_ rcep.ProcContext, args []any) error {
+		fmt.Println("duplicate:", args[0])
+		return nil
+	})
+	eng.Ingest("dock1", "pallet-42", 0)
+	eng.Ingest("dock1", "pallet-42", 2*time.Second)
+	eng.Close()
+	// Output:
+	// duplicate: pallet-42
+}
+
+// The paper's Rule 4: containment aggregation. BULK INSERT expands the
+// item list collected by TSEQ+ into one row per contained object.
+func ExampleEngine_Query() {
+	eng, err := rcep.New(rcep.Config{
+		Rules: `
+DEFINE E1 = observation('r1', o1, t1)
+DEFINE E2 = observation('r2', o2, t2)
+CREATE RULE r4, containment rule
+ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+IF true
+DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, 'UC')
+`,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	eng.Ingest("r1", "item1", sec(1.0))
+	eng.Ingest("r1", "item2", sec(1.4))
+	eng.Ingest("r2", "case1", sec(13))
+	eng.Close()
+
+	_, rows, err := eng.Query(`SELECT object_epc, parent_epc FROM OBJECTCONTAINMENT ORDER BY object_epc`)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r[0], "in", r[1])
+	}
+	// Output:
+	// item1 in case1
+	// item2 in case1
+}
+
+// The paper's Rule 5: a negated event under WITHIN, completed by a pseudo
+// event when the window expires.
+func ExampleEngine_AdvanceTo() {
+	types := map[string]string{"laptop-1": "laptop", "badge-1": "superuser"}
+	eng, err := rcep.New(rcep.Config{
+		Rules: `
+DEFINE Laptop = observation('exit', o4, t4), type(o4) = 'laptop'
+DEFINE Super  = observation('exit', o5, t5), type(o5) = 'superuser'
+CREATE RULE r5, asset monitoring rule
+ON WITHIN(Laptop AND NOT Super, 5sec)
+IF true
+DO send_alarm(o4)
+`,
+		TypeOf: func(o string) string { return types[o] },
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng.RegisterProcedure("send_alarm", func(_ rcep.ProcContext, args []any) error {
+		fmt.Println("ALARM:", args[0])
+		return nil
+	})
+	eng.Ingest("exit", "laptop-1", 10*time.Second)
+	eng.AdvanceTo(time.Minute) // the 5s window expires with no badge
+	// Output:
+	// ALARM: laptop-1
+}

@@ -1,0 +1,51 @@
+// Quickstart: define one rule, feed a handful of observations, watch it
+// fire. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rcep"
+)
+
+func main() {
+	// A single duplicate-detection rule (paper §3.1, Rule 1): the same
+	// reader seeing the same object twice within 5 seconds marks the
+	// earlier observation as a duplicate.
+	eng, err := rcep.New(rcep.Config{
+		Rules: `
+CREATE RULE r1, duplicate detection rule
+ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+IF true
+DO send_duplicate_msg(r, o, t1)
+`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.RegisterProcedure("send_duplicate_msg", func(_ rcep.ProcContext, args []any) error {
+		fmt.Printf("duplicate: reader=%v object=%v first-seen=%v\n", args[0], args[1], args[2])
+		return nil
+	})
+
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	observations := []rcep.Observation{
+		{Reader: "dock1", Object: "pallet-42", At: sec(0)},
+		{Reader: "dock1", Object: "pallet-42", At: sec(2)},  // duplicate of t=0
+		{Reader: "dock1", Object: "pallet-77", At: sec(3)},  // different object
+		{Reader: "dock2", Object: "pallet-42", At: sec(4)},  // different reader
+		{Reader: "dock1", Object: "pallet-42", At: sec(30)}, // too late: not a duplicate
+	}
+	for _, o := range observations {
+		if err := eng.IngestObservation(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	m := eng.Metrics()
+	fmt.Printf("processed %d observations, %d detections\n", m.Observations, m.Detections)
+}

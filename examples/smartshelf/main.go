@@ -1,0 +1,78 @@
+// Smartshelf: the paper's §3.1 semantic filtering — infield and outfield
+// events on a smart shelf whose reader bulk-reads everything every 30
+// seconds. The application only cares when an object is PUT ON the shelf
+// (infield: first sighting after a silent period) and when it is TAKEN OFF
+// (outfield: no sighting for a full period), not about the endless
+// re-reads in between.
+//
+// Run with: go run ./examples/smartshelf
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rcep"
+)
+
+func main() {
+	eng, err := rcep.New(rcep.Config{
+		Rules: `
+-- Rule 2 (infield): first sighting after >=45s of silence.
+CREATE RULE r2, infield filtering
+ON WITHIN(NOT observation('shelf-7', o, t1); observation('shelf-7', o, t2), 45sec)
+IF true
+DO INSERT INTO INVENTORY VALUES ('shelf-7', o, t2, 'UC');
+   shelf_event('infield', o)
+
+-- Outfield: sighted, then silent for 45s.
+CREATE RULE r2b, outfield filtering
+ON WITHIN(observation('shelf-7', o, t1); NOT observation('shelf-7', o, t2), 45sec)
+IF true
+DO UPDATE INVENTORY SET tend = t1 WHERE object_epc = o AND tend = 'UC';
+   shelf_event('outfield', o)
+`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.RegisterProcedure("shelf_event", func(ctx rcep.ProcContext, args []any) error {
+		fmt.Printf("%-8v %v at %v\n", args[0], args[1], ctx.End)
+		return nil
+	})
+
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+	// soda stays for three 30s scan cycles (0, 30, 60) then is taken;
+	// chips appears at cycle 30 and stays through 60.
+	scans := []rcep.Observation{
+		{Reader: "shelf-7", Object: "soda", At: sec(0)},
+		{Reader: "shelf-7", Object: "soda", At: sec(30)},
+		{Reader: "shelf-7", Object: "chips", At: sec(30.1)},
+		{Reader: "shelf-7", Object: "soda", At: sec(60)},
+		{Reader: "shelf-7", Object: "chips", At: sec(60.1)},
+		{Reader: "shelf-7", Object: "chips", At: sec(90.1)},
+	}
+	for _, o := range scans {
+		if err := eng.IngestObservation(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Let the outfield windows expire.
+	if err := eng.AdvanceTo(sec(200)); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfinal inventory periods:")
+	_, rows, err := eng.Query(`SELECT object_epc, tstart, tend FROM INVENTORY`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,3 @@
+module rcep
+
+go 1.23

@@ -1,0 +1,38 @@
+package context
+
+import "testing"
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, c := range All() {
+		got, err := Parse(c.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.String(), err)
+			continue
+		}
+		if got != c {
+			t.Errorf("round trip %v -> %v", c, got)
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	if c, err := Parse("general"); err != nil || c != Unrestricted {
+		t.Errorf("general alias: %v %v", c, err)
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Errorf("bogus context accepted")
+	}
+}
+
+func TestDefaultIsChronicle(t *testing.T) {
+	var c Context
+	if c != Chronicle {
+		t.Errorf("zero value should be Chronicle (the paper's context)")
+	}
+}
+
+func TestUnknownString(t *testing.T) {
+	if s := Context(99).String(); s != "context(99)" {
+		t.Errorf("unknown context string: %q", s)
+	}
+}

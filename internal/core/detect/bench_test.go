@@ -1,0 +1,84 @@
+package detect
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// Per-operator ingestion micro-benchmarks: cost of one observation
+// through each constructor shape.
+
+func benchEngine(b *testing.B, expr event.Expr) *Engine {
+	b.Helper()
+	gb := graph.NewBuilder()
+	if _, err := gb.AddRule(1, expr); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(Config{Graph: gb.Finalize()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkIngestPrimitive(b *testing.B) {
+	eng := benchEngine(b, prim("r1", "o", "t"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Ingest(event.Observation{Reader: "r1", Object: "o1", At: event.Time(i) * event.Time(time.Millisecond)})
+	}
+}
+
+func BenchmarkIngestSeqJoin(b *testing.B) {
+	// The dup-filter shape: partitioned join on (r, o).
+	eng := benchEngine(b, &event.Within{
+		X:   &event.Seq{L: primVars("r", "o", "t1"), R: primVars("r", "o", "t2")},
+		Max: 5 * time.Second,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := fmt.Sprintf("o%d", i%64)
+		_ = eng.Ingest(event.Observation{Reader: "r1", Object: o, At: event.Time(i) * event.Time(time.Millisecond)})
+	}
+}
+
+func BenchmarkIngestTSeqPlus(b *testing.B) {
+	eng := benchEngine(b, &event.TSeq{
+		L:  &event.TSeqPlus{X: prim("r1", "o1", "t1"), Lo: 0, Hi: time.Second},
+		R:  prim("r2", "o2", "t2"),
+		Lo: 5 * time.Second, Hi: 10 * time.Second,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Ingest(event.Observation{Reader: "r1", Object: "x", At: event.Time(i) * event.Time(100*time.Millisecond)})
+	}
+}
+
+func BenchmarkIngestNegationWindow(b *testing.B) {
+	eng := benchEngine(b, &event.Within{
+		X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+		Max: 5 * time.Second,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := "r1"
+		if i%3 == 0 {
+			r = "r2"
+		}
+		_ = eng.Ingest(event.Observation{Reader: r, Object: "x", At: event.Time(i) * event.Time(100*time.Millisecond)})
+	}
+}
+
+func BenchmarkIngestNonMatching(b *testing.B) {
+	// The common case in wide deployments: the observation matches no
+	// leaf pattern of this rule.
+	eng := benchEngine(b, prim("r1", "o", "t"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Ingest(event.Observation{Reader: "other", Object: "o1", At: event.Time(i) * event.Time(time.Millisecond)})
+	}
+}

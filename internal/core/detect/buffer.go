@@ -1,0 +1,307 @@
+// Package detect implements RCEDA, the RFID complex event detection
+// algorithm of paper §4: graph-driven detection where temporal constraints
+// are first-class, non-spontaneous events are completed by pseudo events,
+// and constituent instances are paired under a parameter context
+// (chronicle by default).
+//
+// The engine is single-goroutine: observations must be fed in
+// non-decreasing timestamp order through Ingest. Use package stream to
+// merge or reorder unruly sources upstream.
+package detect
+
+import (
+	"sort"
+
+	"rcep/internal/core/event"
+)
+
+// buffer holds pending instances of one side of a binary constructor,
+// optionally partitioned by the constructor's join variables so candidate
+// lookups touch only binding-compatible instances.
+type buffer struct {
+	joinVars []string
+	parts    map[string][]*event.Instance // partitioned on join projection
+	flat     []*event.Instance            // used when joinVars is empty
+	size     int
+
+	// cap bounds each partition (0 = unbounded); dropped counts evicted
+	// oldest instances.
+	cap     int
+	dropped *uint64
+}
+
+func newBuffer(joinVars []string) *buffer {
+	b := &buffer{joinVars: joinVars}
+	if len(joinVars) > 0 {
+		b.parts = make(map[string][]*event.Instance)
+	}
+	return b
+}
+
+// add appends an instance to its partition, evicting the oldest entry
+// when the partition cap is exceeded.
+func (b *buffer) add(in *event.Instance) {
+	b.size++
+	if b.parts == nil {
+		b.flat = append(b.flat, in)
+		if b.cap > 0 && len(b.flat) > b.cap {
+			b.flat = b.flat[1:]
+			b.size--
+			if b.dropped != nil {
+				*b.dropped++
+			}
+		}
+		return
+	}
+	k, _ := in.Binds.Project(b.joinVars)
+	part := append(b.parts[k], in)
+	if b.cap > 0 && len(part) > b.cap {
+		part = part[1:]
+		b.size--
+		if b.dropped != nil {
+			*b.dropped++
+		}
+	}
+	b.parts[k] = part
+}
+
+// replaceAll empties the instance's partition and stores only it (the
+// "recent" context keeps the most recent initiator only).
+func (b *buffer) replaceAll(in *event.Instance) {
+	if b.parts == nil {
+		b.size = 1
+		b.flat = append(b.flat[:0], in)
+		return
+	}
+	k, _ := in.Binds.Project(b.joinVars)
+	b.size -= len(b.parts[k])
+	b.size++
+	b.parts[k] = append(b.parts[k][:0], in)
+}
+
+// scan visits the partition compatible with binds in arrival order. The
+// visitor returns keep (retain the instance in the buffer) and cont
+// (continue scanning). Instances the visitor drops are removed. With join
+// variables, only the matching partition is visited; without them every
+// instance is binding-compatible by construction.
+func (b *buffer) scan(binds event.Bindings, visit func(*event.Instance) (keep, cont bool)) {
+	if b.parts != nil {
+		k, _ := binds.Project(b.joinVars)
+		s, ok := b.parts[k]
+		if !ok {
+			return
+		}
+		b.scanSlice(&s, visit)
+		if len(s) == 0 {
+			delete(b.parts, k)
+		} else {
+			b.parts[k] = s
+		}
+		return
+	}
+	b.scanSlice(&b.flat, visit)
+}
+
+func (b *buffer) scanSlice(s *[]*event.Instance, visit func(*event.Instance) (keep, cont bool)) {
+	out := (*s)[:0]
+	stopped := false
+	for _, in := range *s {
+		if stopped {
+			out = append(out, in)
+			continue
+		}
+		keep, cont := visit(in)
+		if keep {
+			out = append(out, in)
+		} else {
+			b.size--
+		}
+		if !cont {
+			stopped = true
+		}
+	}
+	*s = out
+}
+
+// purge removes every instance for which drop returns true, across all
+// partitions.
+func (b *buffer) purge(drop func(*event.Instance) bool) {
+	if b.parts == nil {
+		out := b.flat[:0]
+		for _, in := range b.flat {
+			if drop(in) {
+				b.size--
+			} else {
+				out = append(out, in)
+			}
+		}
+		b.flat = out
+		return
+	}
+	for k, s := range b.parts {
+		out := s[:0]
+		for _, in := range s {
+			if drop(in) {
+				b.size--
+			} else {
+				out = append(out, in)
+			}
+		}
+		if len(out) == 0 {
+			delete(b.parts, k)
+		} else {
+			b.parts[k] = out
+		}
+	}
+}
+
+// len returns the number of buffered instances.
+func (b *buffer) len() int { return b.size }
+
+// all returns every buffered instance in arrival (Seq) order; used by
+// checkpointing, which re-adds them on restore.
+func (b *buffer) all() []*event.Instance {
+	var out []*event.Instance
+	if b.parts == nil {
+		out = append(out, b.flat...)
+	} else {
+		for _, s := range b.parts {
+			out = append(out, s...)
+		}
+	}
+	sortInstancesBySeq(out)
+	return out
+}
+
+func sortInstancesBySeq(s []*event.Instance) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Seq < s[j].Seq })
+}
+
+// projectBinds restricts binds to the given variables; used to build
+// negation-query filters from a positive instance's bindings.
+func projectBinds(binds event.Bindings, vars []string) event.Bindings {
+	if len(vars) == 0 {
+		return nil
+	}
+	out := make(event.Bindings, len(vars))
+	for _, v := range vars {
+		if val, ok := binds[v]; ok {
+			out[v] = val
+		}
+	}
+	return out
+}
+
+// history is a time-ordered log of a node's occurrences, kept for window
+// queries (negation, pulled SEQ+). Entries are ordered by End time.
+// Chronicle consumption is tracked per consumer node: a sub-event shared
+// by several rules (common sub-graph merging) is detected once but each
+// consuming parent claims its own copy, so merging never changes
+// detections.
+type history struct {
+	entries  []*event.Instance
+	consumed map[int]map[*event.Instance]bool // consumer node ID → claimed
+
+	// cap bounds retained entries (0 = unbounded); dropped counts
+	// evicted oldest entries.
+	cap     int
+	dropped *uint64
+}
+
+func newHistory() *history {
+	return &history{consumed: map[int]map[*event.Instance]bool{}}
+}
+
+// add records an occurrence, keeping entries sorted by End (insertion is
+// near the tail in practice since time advances monotonically). The
+// oldest entry is evicted past the cap.
+func (h *history) add(in *event.Instance) {
+	i := len(h.entries)
+	for i > 0 && h.entries[i-1].End > in.End {
+		i--
+	}
+	h.entries = append(h.entries, nil)
+	copy(h.entries[i+1:], h.entries[i:])
+	h.entries[i] = in
+	if h.cap > 0 && len(h.entries) > h.cap {
+		old := h.entries[0]
+		for _, m := range h.consumed {
+			delete(m, old)
+		}
+		h.entries = h.entries[1:]
+		if h.dropped != nil {
+			*h.dropped++
+		}
+	}
+}
+
+// inWindow visits entries whose End falls in [a, b] and whose bindings are
+// compatible with filter. consumer >= 0 skips entries that consumer has
+// already claimed; pass anyConsumer for existence checks (negation cares
+// about occurrence regardless of consumption).
+func (h *history) inWindow(a, b event.Time, filter event.Bindings, consumer int, visit func(*event.Instance) bool) {
+	lo := h.lowerBound(a)
+	claimed := map[*event.Instance]bool(nil)
+	if consumer >= 0 {
+		claimed = h.consumed[consumer]
+	}
+	for i := lo; i < len(h.entries); i++ {
+		in := h.entries[i]
+		if in.End > b {
+			break
+		}
+		if claimed[in] {
+			continue
+		}
+		if filter != nil && !in.Binds.Compatible(filter) {
+			continue
+		}
+		if !visit(in) {
+			return
+		}
+	}
+}
+
+// anyConsumer disables consumption filtering in inWindow.
+const anyConsumer = -1
+
+// lowerBound returns the first index with End >= a.
+func (h *history) lowerBound(a event.Time) int {
+	lo, hi := 0, len(h.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.entries[mid].End < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// markConsumed claims an entry for a chronicle consumer node.
+func (h *history) markConsumed(consumer int, in *event.Instance) {
+	m := h.consumed[consumer]
+	if m == nil {
+		m = map[*event.Instance]bool{}
+		h.consumed[consumer] = m
+	}
+	m[in] = true
+}
+
+// pruneBefore drops entries with End < t.
+func (h *history) pruneBefore(t event.Time) {
+	i := h.lowerBound(t)
+	if i == 0 {
+		return
+	}
+	for _, in := range h.entries[:i] {
+		for _, m := range h.consumed {
+			delete(m, in)
+		}
+	}
+	h.entries = append(h.entries[:0], h.entries[i:]...)
+}
+
+// len returns the number of retained entries.
+func (h *history) len() int { return len(h.entries) }

@@ -1,0 +1,388 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+)
+
+// Boundary and composition edge cases for the RCEDA engine.
+
+func TestWithinOverOr(t *testing.T) {
+	// WITHIN over OR: the constraint propagates into both branches and
+	// each disjunct instance is instantaneous, so everything passes.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Within{
+			X:   &event.Or{L: prim("r1", "o", "t"), R: prim("r2", "o", "t")},
+			Max: time.Second,
+		},
+	}, nil)
+	got := h.run(obs("r1", "a", 1), obs("r2", "b", 2))
+	if len(got) != 2 {
+		t.Fatalf("OR under WITHIN: %d", len(got))
+	}
+}
+
+func TestSeqOverAnd(t *testing.T) {
+	// SEQ(AND(E1, E2); E3): the conjunction completes when its later
+	// constituent arrives, then terminates with E3.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Seq{
+			L: &event.And{L: prim("r1", "o1", "t1"), R: prim("r2", "o2", "t2")},
+			R: prim("r3", "o3", "t3"),
+		},
+	}, nil)
+	got := h.run(obs("r2", "b", 1), obs("r1", "a", 2), obs("r3", "c", 5))
+	if len(got) != 1 {
+		t.Fatalf("SEQ over AND: %v", got)
+	}
+	in := got[0].inst
+	if in.Begin != ts(1) || in.End != ts(5) {
+		t.Errorf("span: %v", in)
+	}
+	if in.Binds["o1"].Str() != "a" || in.Binds["o2"].Str() != "b" || in.Binds["o3"].Str() != "c" {
+		t.Errorf("bindings: %v", in.Binds)
+	}
+}
+
+func TestAndOverSeqs(t *testing.T) {
+	// AND of two sequences, overlapping in time.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.And{
+			L: &event.Seq{L: prim("a1", "x1", "u1"), R: prim("a2", "x2", "u2")},
+			R: &event.Seq{L: prim("b1", "y1", "v1"), R: prim("b2", "y2", "v2")},
+		},
+	}, nil)
+	got := h.run(obs("a1", "p", 1), obs("b1", "q", 2), obs("a2", "r", 3), obs("b2", "s", 4))
+	if len(got) != 1 {
+		t.Fatalf("AND of SEQs: %v", got)
+	}
+	if got[0].inst.Begin != ts(1) || got[0].inst.End != ts(4) {
+		t.Errorf("span: %v", got[0].inst)
+	}
+}
+
+func TestLateClosingInitiatorPairsWithWaitingTerminator(t *testing.T) {
+	// Two rules share a TSEQ+: rule 2's OR parent forces the TSEQ+ into
+	// push (pseudo) mode, so rule 1's TSEQ pairs via push delivery. A
+	// terminator that arrives before the sequence's close pseudo (lo <
+	// TSEQ+ hi) must wait in the right buffer and still match.
+	shared := func() event.Expr {
+		return &event.TSeqPlus{X: prim("r1", "o1", "t1"), Lo: 0, Hi: 10 * time.Second}
+	}
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.TSeq{L: shared(), R: prim("r2", "o2", "t2"), Lo: 0, Hi: 30 * time.Second},
+		2: &event.Or{L: shared(), R: prim("r9", "z", "tz")},
+	}, nil)
+	// Items at 1, 2; terminator at 5 (before the close pseudo at 12).
+	h.feed(obs("r1", "i1", 1), obs("r1", "i2", 2))
+	h.feed(obs("r2", "case", 5))
+	if len(h.sights) != 0 {
+		t.Fatalf("nothing should fire before the sequence closes")
+	}
+	h.eng.Close() // close pseudo at 12 fires; seq closes; pairs with case@5?
+	// The closed sequence ends at t=2, the terminator begins at t=5:
+	// order holds, dist = 3s within [0,30]. Both rules fire.
+	var rule1, rule2 int
+	for _, d := range h.sights {
+		switch d.rule {
+		case 0, 1:
+			if d.rule == 1 {
+				rule1++
+			}
+		}
+		if d.rule == 1 {
+			_ = d
+		}
+	}
+	counts := map[int]int{}
+	for _, d := range h.sights {
+		counts[d.rule]++
+	}
+	if counts[1] != 1 {
+		t.Errorf("rule 1 (TSEQ) fired %d times, want 1: %v", counts[1], h.sights)
+	}
+	if counts[2] != 1 {
+		t.Errorf("rule 2 (OR) fired %d times, want 1", counts[2])
+	}
+	_ = rule1
+	_ = rule2
+}
+
+func TestNotOverTSeqPlus(t *testing.T) {
+	// WITHIN(E1 AND NOT TSEQ+(E2, 0, 1s), 5s): the negated event is a
+	// completed burst of E2s. A burst inside the window blocks E1.
+	mk := func() map[int]event.Expr {
+		return map[int]event.Expr{
+			1: &event.Within{
+				X: &event.And{
+					L: prim("r1", "o1", "t1"),
+					R: &event.Not{X: &event.TSeqPlus{X: prim("r2", "o2", "t2"), Lo: 0, Hi: time.Second}},
+				},
+				Max: 5 * time.Second,
+			},
+		}
+	}
+	// Burst of E2 at 8..9 closes at 10 (inside [5,15] of e1@10): blocked.
+	h1 := newHarness(t, mk(), nil)
+	got := h1.run(obs("r2", "x", 8), obs("r2", "y", 8.5), obs("r1", "a", 10))
+	if len(got) != 0 {
+		t.Fatalf("burst in window should block: %v", got)
+	}
+	// No burst anywhere near: detected.
+	h2 := newHarness(t, mk(), nil)
+	got = h2.run(obs("r2", "x", 1), obs("r1", "a", 20))
+	if len(got) != 1 {
+		t.Fatalf("distant burst should not block: %v", got)
+	}
+}
+
+func TestNotOverOr(t *testing.T) {
+	// WITHIN(E1 AND NOT (E2 OR E3), 5s): the negated event is itself
+	// complex; any occurrence of either branch inside the window blocks.
+	mk := func() map[int]event.Expr {
+		return map[int]event.Expr{
+			1: &event.Within{
+				X: &event.And{
+					L: prim("r1", "o1", "t1"),
+					R: &event.Not{X: &event.Or{L: prim("r2", "a", "ta"), R: prim("r3", "b", "tb")}},
+				},
+				Max: 5 * time.Second,
+			},
+		}
+	}
+	h1 := newHarness(t, mk(), nil)
+	if got := h1.run(obs("r1", "x", 10), obs("r3", "blocker", 12)); len(got) != 0 {
+		t.Fatalf("OR branch should block: %v", got)
+	}
+	h2 := newHarness(t, mk(), nil)
+	if got := h2.run(obs("r1", "x", 10), obs("r4", "noise", 12)); len(got) != 1 {
+		t.Fatalf("unrelated reader must not block: %v", got)
+	}
+}
+
+func TestAdvanceBeforeFirstObservation(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{1: primVars("r", "o", "t")}, nil)
+	if err := h.eng.AdvanceTo(ts(100)); err != nil {
+		t.Fatalf("AdvanceTo on a fresh engine: %v", err)
+	}
+	if err := h.eng.Ingest(obs("r1", "a", 50)); err == nil {
+		t.Fatalf("observation behind the advanced clock accepted")
+	}
+	if err := h.eng.Ingest(obs("r1", "a", 150)); err != nil {
+		t.Fatalf("later observation rejected: %v", err)
+	}
+}
+
+func TestTSeqPlusBoundaryDistances(t *testing.T) {
+	// d == Hi extends; d just over Hi breaks.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.TSeqPlus{X: prim("r1", "o", "t"), Lo: 0, Hi: time.Second},
+	}, nil)
+	h.feed(
+		obs("r1", "a", 0), obs("r1", "b", 1), // d = 1s = Hi: extends
+		obs("r1", "c", 2.0001), // d = 1.0001s: breaks
+	)
+	if len(h.sights) != 1 {
+		t.Fatalf("first run should have closed: %v", h.sights)
+	}
+	if h.sights[0].inst.Binds["o"].Len() != 2 {
+		t.Errorf("first run must contain a and b: %v", h.sights[0].inst.Binds["o"])
+	}
+	h.eng.Close()
+	if len(h.sights) != 2 {
+		t.Errorf("second run {c} should close on Close()")
+	}
+}
+
+func TestAndNotBoundaryExactlyTau(t *testing.T) {
+	// A negative exactly τ after the positive has interval(e1,e2) == τ,
+	// which satisfies ≤ τ and must block (paper's WITHIN is inclusive).
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Within{
+			X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+			Max: 5 * time.Second,
+		},
+	}, nil)
+	got := h.run(obs("r1", "a", 10), obs("r2", "u", 15))
+	if len(got) != 0 {
+		t.Fatalf("negative at exactly τ must block: %v", got)
+	}
+	// Just past τ does not block.
+	h2 := newHarness(t, map[int]event.Expr{
+		1: &event.Within{
+			X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+			Max: 5 * time.Second,
+		},
+	}, nil)
+	got = h2.run(obs("r1", "a", 10), obs("r2", "u", 15.001))
+	if len(got) != 1 {
+		t.Fatalf("negative past τ must not block: %v", got)
+	}
+}
+
+func TestChronicleTieBreakByArrival(t *testing.T) {
+	// Two initiators at the same timestamp: the first-arrived pairs first.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Seq{L: prim("rA", "o1", "t1"), R: prim("rB", "o2", "t2")},
+	}, nil)
+	got := h.run(obs("rA", "first", 1), obs("rA", "second", 1), obs("rB", "x", 2), obs("rB", "y", 2))
+	if len(got) != 2 {
+		t.Fatalf("detections: %d", len(got))
+	}
+	if got[0].inst.Binds["o1"].Str() != "first" || got[1].inst.Binds["o1"].Str() != "second" {
+		t.Errorf("tie-break order: %v, %v", got[0].inst.Binds, got[1].inst.Binds)
+	}
+}
+
+func TestEngineUsableAfterClose(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.TSeqPlus{X: prim("r1", "o", "t"), Lo: 0, Hi: time.Second},
+	}, nil)
+	h.feed(obs("r1", "a", 1))
+	h.eng.Close()
+	if len(h.sights) != 1 {
+		t.Fatalf("first close: %d", len(h.sights))
+	}
+	// Keep going after Close: time resumed from the last pseudo.
+	h.feed(obs("r1", "b", 10))
+	h.eng.Close()
+	if len(h.sights) != 2 {
+		t.Fatalf("engine dead after Close: %d", len(h.sights))
+	}
+}
+
+func TestManyRulesManyReaders(t *testing.T) {
+	// A wide graph: 40 independent dup rules, interleaved traffic.
+	rules := map[int]event.Expr{}
+	for i := 0; i < 40; i++ {
+		r := string(rune('A' + i%26))
+		rules[i] = &event.Within{
+			X:   &event.Seq{L: primVars("r", "o", "t1"), R: primVars("r", "o", "t2")},
+			Max: 5 * time.Second,
+		}
+		_ = r
+	}
+	h := newHarness(t, rules, nil)
+	var o []event.Observation
+	for i := 0; i < 50; i++ {
+		o = append(o, obs("rX", "same", float64(i)*2)) // every 2s: always within 5s
+	}
+	got := h.run(o...)
+	// All 40 rules share one graph node (identical events). The two
+	// constituent patterns are distinct nodes (t1 vs t2), so every read
+	// terminates its predecessor AND initiates for its successor —
+	// exactly Rule 1's "mark the previous as duplicate" chaining: 49
+	// pairs from 50 reads, per rule.
+	if len(got) != 40*49 {
+		t.Fatalf("detections: %d, want %d", len(got), 40*49)
+	}
+}
+
+func TestInterleavedIndependentObjects(t *testing.T) {
+	// Dup rule with heavy interleaving across objects: partitioned
+	// buffers must keep them separate.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Within{
+			X:   &event.Seq{L: primVars("r", "o", "t1"), R: primVars("r", "o", "t2")},
+			Max: 5 * time.Second,
+		},
+	}, nil)
+	var stream []event.Observation
+	for i := 0; i < 30; i++ {
+		stream = append(stream, obs("r1", string(rune('a'+i%10)), float64(i)))
+	}
+	got := h.run(stream...)
+	// Each object appears 3 times at distance 10s — beyond the 5s bound,
+	// so nothing pairs.
+	if len(got) != 0 {
+		t.Fatalf("cross-object pairing leaked: %v", got)
+	}
+}
+
+func TestSeqWithMixedTerminator(t *testing.T) {
+	// SEQ(E0 ; WITHIN(E1 AND NOT E2, 5s)): the terminator is a mixed-mode
+	// complex event that completes via a pseudo event — its late push
+	// must still pair with the buffered initiator.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Seq{
+			L: prim("r0", "o0", "t0"),
+			R: &event.Within{
+				X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+				Max: 5 * time.Second,
+			},
+		},
+	}, nil)
+	h.feed(
+		obs("r0", "start", 1),
+		obs("r1", "go", 10), // clean window [5,15] → AND-NOT completes at 15
+	)
+	if len(h.sights) != 0 {
+		t.Fatalf("nothing should fire before the window expires")
+	}
+	h.eng.Close()
+	if len(h.sights) != 1 {
+		t.Fatalf("mixed terminator: %d detections", len(h.sights))
+	}
+	in := h.sights[0].inst
+	if in.Begin != ts(1) || in.End != ts(15) {
+		t.Errorf("span: %v", in)
+	}
+	if in.Binds["o0"].Str() != "start" || in.Binds["o1"].Str() != "go" {
+		t.Errorf("bindings: %v", in.Binds)
+	}
+	// Blocked variant: an E2 lands inside the window.
+	h2 := newHarness(t, map[int]event.Expr{
+		1: &event.Seq{
+			L: prim("r0", "o0", "t0"),
+			R: &event.Within{
+				X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+				Max: 5 * time.Second,
+			},
+		},
+	}, nil)
+	got := h2.run(obs("r0", "start", 1), obs("r1", "go", 10), obs("r2", "stop", 12))
+	if len(got) != 0 {
+		t.Fatalf("blocked mixed terminator still fired: %v", got)
+	}
+}
+
+func TestOrOfMixedAndPush(t *testing.T) {
+	// OR(TSEQ+(E1), E2): mixed | push → mixed; both branches detectable.
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.Or{
+			L: &event.TSeqPlus{X: prim("r1", "o", "t"), Lo: 0, Hi: time.Second},
+			R: prim("r2", "o2", "t2"),
+		},
+	}, nil)
+	h.feed(obs("r1", "a", 1))
+	if len(h.sights) != 0 {
+		t.Fatalf("open run must not fire: %d", len(h.sights))
+	}
+	// Time advancing past the run's close boundary (1s + Hi) fires the
+	// close pseudo BEFORE the r2 observation is processed.
+	h.feed(obs("r2", "b", 5))
+	if len(h.sights) != 2 {
+		t.Fatalf("both branches should have fired by t=5: %d", len(h.sights))
+	}
+	h.eng.Close()
+	if len(h.sights) != 2 {
+		t.Fatalf("Close must not double-fire: %d", len(h.sights))
+	}
+}
+
+func TestZeroLoTSeqAllowsImmediateSuccession(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{
+		1: &event.TSeq{L: prim("r1", "o1", "t1"), R: prim("r2", "o2", "t2"),
+			Lo: 0, Hi: time.Second},
+	}, nil)
+	// dist = 1ns, but order still requires e1.End < e2.Begin.
+	got := h.run(
+		event.Observation{Reader: "r1", Object: "a", At: ts(1)},
+		event.Observation{Reader: "r2", Object: "b", At: ts(1) + 1},
+	)
+	if len(got) != 1 {
+		t.Fatalf("immediate succession: %v", got)
+	}
+}

@@ -1,0 +1,495 @@
+package detect
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	pctx "rcep/internal/core/context"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// ErrOutOfOrder is returned by Ingest when an observation's timestamp
+// precedes the engine's current time. Use stream.Reorder upstream for
+// sources that deliver out of order.
+var ErrOutOfOrder = errors.New("detect: observation out of timestamp order")
+
+// Config configures an Engine.
+type Config struct {
+	// Graph is the finalized event graph (graph.Builder.Finalize).
+	Graph *graph.Graph
+
+	// Context is the parameter context; the zero value is Chronicle,
+	// the paper's choice for RFID streams.
+	Context pctx.Context
+
+	// Groups maps a reader EPC to the groups it belongs to. When nil,
+	// every reader is its own group (paper §2.1 default).
+	Groups func(reader string) []string
+
+	// TypeOf maps an object EPC to its type name, e.g. "laptop". When
+	// nil, type predicates never match.
+	TypeOf func(object string) string
+
+	// OnDetect is invoked synchronously for every rule whose event part
+	// is detected, with the detected complex event instance.
+	OnDetect func(ruleID int, inst *event.Instance)
+
+	// MaxPartitionBuffer, when positive, bounds each join partition of
+	// every node's pending-instance buffers: the oldest instance is
+	// evicted past the cap and counted in Metrics.Dropped. Zero keeps
+	// the paper's unbounded semantics.
+	MaxPartitionBuffer int
+
+	// MaxHistory, when positive, bounds each node's retained occurrence
+	// history the same way.
+	MaxHistory int
+
+	// MaxOpenSequence, when positive, bounds an open SEQ+/TSEQ+ run: an
+	// input stream that never violates the adjacency bound (a conveyor
+	// that never pauses) otherwise grows the run without limit. On
+	// overflow the older half of the run is discarded (counted in
+	// Metrics.Dropped). Prefer WITHIN bounds on the sequence (paper
+	// Fig. 6b) — this cap is the backstop.
+	MaxOpenSequence int
+
+	// IndexPrimitives routes each observation only to primitive
+	// patterns whose reader literal matches (plus patterns with
+	// variable readers), instead of probing every leaf — an
+	// optimization beyond the paper that flattens the per-rule matching
+	// cost (ablation A5). Default off to mirror the paper's engine.
+	IndexPrimitives bool
+}
+
+// Metrics counts engine activity; useful in tests and benchmarks.
+type Metrics struct {
+	Observations    uint64 // observations ingested
+	PrimMatches     uint64 // primitive pattern matches
+	Emitted         uint64 // event instances emitted by graph nodes
+	PseudoScheduled uint64 // pseudo events scheduled
+	PseudoFired     uint64 // pseudo events executed
+	Detections      uint64 // rule-level detections delivered
+	Dropped         uint64 // instances evicted by buffer/history caps
+}
+
+// Engine is the RCEDA complex event detection engine. It is not safe for
+// concurrent use; feed it from a single goroutine.
+type Engine struct {
+	g        *graph.Graph
+	ctx      pctx.Context
+	groups   func(string) []string
+	typeOf   func(string) string
+	onDetect func(int, *event.Instance)
+
+	states  []*nodeState
+	maxOpen int
+	pq      pseudoHeap
+	now     event.Time
+	seq     uint64 // instance arrival counter
+	pseq    uint64 // pseudo scheduling counter
+	m       Metrics
+
+	// primIndex routes observations by reader literal; primWild holds
+	// patterns with variable/anonymous readers. Nil when indexing is
+	// off.
+	primIndex map[string][]*graph.Node
+	primWild  []*graph.Node
+
+	// groupCache and typeCache memoize the group(r) and type(o)
+	// functions: reader groups and object types are deployment
+	// configuration, constant for the engine's lifetime (paper §2.1).
+	groupCache map[string][]string
+	typeCache  map[string]string
+}
+
+// nodeState is the per-node runtime state.
+type nodeState struct {
+	n *graph.Node
+
+	// left and right buffer pending constituent instances for binary
+	// constructors (And, Seq). right is nil when terminators never wait.
+	left, right *buffer
+
+	// hist logs this node's occurrences for window queries.
+	hist *history
+
+	// open is the current open sequence of an eager SEQ+/TSEQ+ node.
+	open *openSeq
+
+	// closureDelay bounds how long after an instance's End this node may
+	// emit it (e.g. a TSEQ+ closure fires Hi after its last element).
+	closureDelay time.Duration
+}
+
+// openSeq is an in-progress aperiodic sequence. starts tracks each
+// element's begin time so overflow truncation can recompute the span.
+type openSeq struct {
+	elems   []event.Bindings
+	starts  []event.Time
+	begin   event.Time
+	last    event.Time
+	version uint64
+}
+
+// pseudoEvent queries the occurrences (or non-occurrences) of a target
+// event over a window at a scheduled execution time (paper §4.5).
+type pseudoEvent struct {
+	exec     event.Time
+	seq      uint64
+	node     *graph.Node // protocol owner
+	strategy graph.PseudoStrategy
+	payload  *event.Instance // the constituent that scheduled the query
+	w0, w1   event.Time      // query window
+	version  uint64          // open-sequence version for SeqPlusClose
+}
+
+type pseudoHeap []*pseudoEvent
+
+func (h pseudoHeap) Len() int { return len(h) }
+func (h pseudoHeap) Less(i, j int) bool {
+	if h[i].exec != h[j].exec {
+		return h[i].exec < h[j].exec
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pseudoHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pseudoHeap) Push(x any)   { *h = append(*h, x.(*pseudoEvent)) }
+func (h *pseudoHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// New builds an engine for a finalized event graph.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("detect: Config.Graph is required")
+	}
+	e := &Engine{
+		g:          cfg.Graph,
+		ctx:        cfg.Context,
+		groups:     cfg.Groups,
+		typeOf:     cfg.TypeOf,
+		onDetect:   cfg.OnDetect,
+		now:        event.MinTime,
+		maxOpen:    cfg.MaxOpenSequence,
+		groupCache: map[string][]string{},
+		typeCache:  map[string]string{},
+	}
+	if e.groups == nil {
+		e.groups = func(r string) []string { return []string{r} }
+	}
+	if e.typeOf == nil {
+		e.typeOf = func(string) string { return "" }
+	}
+	if e.onDetect == nil {
+		e.onDetect = func(int, *event.Instance) {}
+	}
+	maxID := 0
+	for _, n := range cfg.Graph.Nodes {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	e.states = make([]*nodeState, maxID+1)
+	limit := func(b *buffer) *buffer {
+		b.cap = cfg.MaxPartitionBuffer
+		b.dropped = &e.m.Dropped
+		return b
+	}
+	for _, n := range cfg.Graph.Nodes {
+		st := &nodeState{n: n}
+		if n.Kind == graph.KindAnd || n.Kind == graph.KindSeq {
+			st.left = limit(newBuffer(n.JoinVars))
+		}
+		if n.NeedsHistory {
+			st.hist = newHistory()
+			st.hist.cap = cfg.MaxHistory
+			st.hist.dropped = &e.m.Dropped
+		}
+		e.states[n.ID] = st
+	}
+	// Closure delays and terminator wait-buffers need the full graph.
+	for _, n := range cfg.Graph.Nodes {
+		e.states[n.ID].closureDelay = closureDelay(n)
+	}
+	for _, n := range cfg.Graph.Nodes {
+		if n.Kind == graph.KindSeq && n.NotChild != 1 {
+			if closureDelay(n.Left()) > 0 {
+				// The initiator can close after the terminator arrives;
+				// terminators must wait.
+				e.states[n.ID].right = limit(newBuffer(n.JoinVars))
+			}
+		}
+		if n.Kind == graph.KindAnd && n.NotChild < 0 {
+			e.states[n.ID].right = limit(newBuffer(n.JoinVars))
+		}
+	}
+	if cfg.IndexPrimitives {
+		e.primIndex = map[string][]*graph.Node{}
+		for _, p := range cfg.Graph.Prims {
+			if t := p.Prim.Reader; !t.IsVar() && t.Lit != "" {
+				e.primIndex[t.Lit] = append(e.primIndex[t.Lit], p)
+			} else {
+				e.primWild = append(e.primWild, p)
+			}
+		}
+	}
+	return e, nil
+}
+
+// closureDelay bounds emission lag: how long after an instance's End the
+// node can still emit it.
+func closureDelay(n *graph.Node) time.Duration {
+	switch n.Kind {
+	case graph.KindPrim, graph.KindNot:
+		return 0
+	case graph.KindSeqPlus:
+		if n.HasDist {
+			return n.Hi
+		}
+		return 0
+	case graph.KindSeq:
+		return closureDelay(n.Right())
+	default: // Or, And
+		var d time.Duration
+		for _, c := range n.Children {
+			if cd := closureDelay(c); cd > d {
+				d = cd
+			}
+		}
+		return d
+	}
+}
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() event.Time { return e.now }
+
+// Metrics returns a snapshot of activity counters.
+func (e *Engine) Metrics() Metrics { return e.m }
+
+// Ingest feeds one observation. Observations must arrive in non-decreasing
+// timestamp order; pending pseudo events scheduled strictly before the
+// observation's time fire first (the engine always consumes the earliest
+// event of the observation and pseudo queues, paper §4.5).
+func (e *Engine) Ingest(obs event.Observation) error {
+	if e.now != event.MinTime && obs.At < e.now {
+		return fmt.Errorf("%w: got %s, engine at %s", ErrOutOfOrder, obs.At, e.now)
+	}
+	e.drainPseudo(obs.At, true)
+	e.now = obs.At
+	e.m.Observations++
+	if e.primIndex != nil {
+		// Indexed dispatch preserves node-ID order across the two
+		// candidate sets so detections stay deterministic.
+		lit := e.primIndex[obs.Reader]
+		wild := e.primWild
+		for len(lit) > 0 || len(wild) > 0 {
+			var next *graph.Node
+			switch {
+			case len(lit) == 0:
+				next, wild = wild[0], wild[1:]
+			case len(wild) == 0:
+				next, lit = lit[0], lit[1:]
+			case lit[0].ID < wild[0].ID:
+				next, lit = lit[0], lit[1:]
+			default:
+				next, wild = wild[0], wild[1:]
+			}
+			e.matchAndEmit(next, obs)
+		}
+		return nil
+	}
+	for _, prim := range e.g.Prims {
+		e.matchAndEmit(prim, obs)
+	}
+	return nil
+}
+
+func (e *Engine) matchAndEmit(prim *graph.Node, obs event.Observation) {
+	binds, ok := e.matchPrim(prim, obs)
+	if !ok {
+		return
+	}
+	e.m.PrimMatches++
+	inst := &event.Instance{Begin: obs.At, End: obs.At, Binds: binds, Seq: e.nextSeq()}
+	e.emit(prim, inst)
+}
+
+// AdvanceTo moves virtual time forward to t with no intervening
+// observations, firing every pseudo event scheduled at or before t. Call
+// it when the source is idle so negation windows can expire.
+func (e *Engine) AdvanceTo(t event.Time) error {
+	if t < e.now {
+		return fmt.Errorf("%w: AdvanceTo(%s), engine at %s", ErrOutOfOrder, t, e.now)
+	}
+	e.drainPseudo(t, false)
+	e.now = t
+	return nil
+}
+
+// Close drains every pending pseudo event, completing all detections whose
+// windows end after the last observation. The engine remains usable; time
+// advances to the last fired pseudo event.
+func (e *Engine) Close() {
+	e.drainPseudo(event.MaxTime, false)
+}
+
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+// matchPrim matches an observation against a primitive pattern and returns
+// the variable bindings.
+func (e *Engine) matchPrim(n *graph.Node, obs event.Observation) (event.Bindings, bool) {
+	p := n.Prim
+	anon := func(t event.Term) bool { return t.Var == "" && t.Lit == "" }
+	if !p.Reader.IsVar() && !anon(p.Reader) && p.Reader.Lit != obs.Reader {
+		return nil, false
+	}
+	if !p.Object.IsVar() && !anon(p.Object) && p.Object.Lit != obs.Object {
+		return nil, false
+	}
+	for _, pred := range p.Preds {
+		var got event.Value
+		switch pred.Fn {
+		case "group":
+			// group(r) op 'g': satisfied when some group of the reader
+			// satisfies the comparison (equality membership in the
+			// common case).
+			arg, ok := e.predArg(p, pred.Arg, obs)
+			if !ok {
+				return nil, false
+			}
+			matched := false
+			for _, g := range e.groupsOf(arg) {
+				if pred.Op.Eval(compareStr(g, pred.Val)) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, false
+			}
+			continue
+		case "type":
+			arg, ok := e.predArg(p, pred.Arg, obs)
+			if !ok {
+				return nil, false
+			}
+			got = event.StringValue(e.typeOfObj(arg))
+		case "":
+			arg, ok := e.predArg(p, pred.Arg, obs)
+			if !ok {
+				return nil, false
+			}
+			got = event.StringValue(arg)
+		default:
+			return nil, false
+		}
+		want := event.ParseScalar(pred.Val)
+		cmp, ok := got.Compare(want)
+		if !ok {
+			// Fall back to string comparison for mixed kinds.
+			cmp = compareStr(got.String(), pred.Val)
+		}
+		if !pred.Op.Eval(cmp) {
+			return nil, false
+		}
+	}
+	binds := make(event.Bindings, 3)
+	if p.Reader.IsVar() {
+		binds[p.Reader.Var] = event.StringValue(obs.Reader)
+	}
+	if p.Object.IsVar() {
+		binds[p.Object.Var] = event.StringValue(obs.Object)
+	}
+	if p.At.IsVar() {
+		binds[p.At.Var] = event.TimeValue(obs.At)
+	}
+	return binds, true
+}
+
+// predArg resolves a predicate's argument variable against the observation
+// attributes it could be bound to.
+func (e *Engine) predArg(p *event.Prim, arg string, obs event.Observation) (string, bool) {
+	switch {
+	case p.Reader.IsVar() && p.Reader.Var == arg:
+		return obs.Reader, true
+	case p.Object.IsVar() && p.Object.Var == arg:
+		return obs.Object, true
+	case !p.Reader.IsVar() && arg == "":
+		return obs.Reader, true
+	}
+	return "", false
+}
+
+// groupsOf memoizes the group function.
+func (e *Engine) groupsOf(reader string) []string {
+	if g, ok := e.groupCache[reader]; ok {
+		return g
+	}
+	g := e.groups(reader)
+	e.groupCache[reader] = g
+	return g
+}
+
+// typeOfObj memoizes the type function. Object populations are unbounded
+// in long runs, so the cache resets past a size bound rather than grow
+// forever (readers, by contrast, are a small fixed set).
+func (e *Engine) typeOfObj(object string) string {
+	if t, ok := e.typeCache[object]; ok {
+		return t
+	}
+	if len(e.typeCache) >= 1<<16 {
+		e.typeCache = make(map[string]string, 1<<10)
+	}
+	t := e.typeOf(object)
+	e.typeCache[object] = t
+	return t
+}
+
+func compareStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// schedule enqueues a pseudo event.
+func (e *Engine) schedule(ps *pseudoEvent) {
+	e.pseq++
+	ps.seq = e.pseq
+	heap.Push(&e.pq, ps)
+	e.m.PseudoScheduled++
+}
+
+// drainPseudo fires pseudo events up to limit; strict excludes events at
+// exactly limit (they may still be affected by observations at that time).
+func (e *Engine) drainPseudo(limit event.Time, strict bool) {
+	for len(e.pq) > 0 {
+		top := e.pq[0]
+		if strict && top.exec >= limit {
+			return
+		}
+		if !strict && top.exec > limit {
+			return
+		}
+		heap.Pop(&e.pq)
+		if top.exec > e.now {
+			e.now = top.exec
+		}
+		e.m.PseudoFired++
+		e.fire(top)
+	}
+}

@@ -1,0 +1,108 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// Buffer/history caps: production hardening against unbounded rules.
+
+func buildEngine(t *testing.T, cfg Config, rules map[int]event.Expr) (*Engine, *[]detection) {
+	t.Helper()
+	b := graph.NewBuilder()
+	for id, e := range rules {
+		if _, err := b.AddRule(id, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sights []detection
+	cfg.Graph = b.Finalize()
+	cfg.OnDetect = func(rid int, inst *event.Instance) {
+		sights = append(sights, detection{rid, inst})
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, &sights
+}
+
+func TestBufferCapEvictsOldest(t *testing.T) {
+	// Unbounded SEQ: initiators accumulate forever without a cap.
+	rules := map[int]event.Expr{
+		1: &event.Seq{L: prim("rA", "o1", "t1"), R: prim("rB", "o2", "t2")},
+	}
+	eng, _ := buildEngine(t, Config{MaxPartitionBuffer: 10}, rules)
+	for i := 0; i < 100; i++ {
+		if err := eng.Ingest(obs("rA", "x", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := eng.Metrics()
+	if m.Dropped != 90 {
+		t.Fatalf("dropped = %d, want 90", m.Dropped)
+	}
+	nodes, _ := eng.Snapshot()
+	for _, n := range nodes {
+		if n.LeftBuffer > 10 {
+			t.Errorf("buffer exceeded cap: %+v", n)
+		}
+	}
+	// The newest initiators survive: a terminator pairs with the oldest
+	// RETAINED one (chronicle over what's left).
+	var got []detection
+	engGot := eng
+	_ = engGot
+	eng2, sights := buildEngine(t, Config{MaxPartitionBuffer: 10}, map[int]event.Expr{
+		1: &event.Seq{L: prim("rA", "o1", "t1"), R: prim("rB", "o2", "t2")},
+	})
+	for i := 0; i < 100; i++ {
+		_ = eng2.Ingest(obs("rA", "x", float64(i)))
+	}
+	_ = eng2.Ingest(obs("rB", "y", 200))
+	got = *sights
+	if len(got) != 1 || got[0].inst.Binds["t1"].Time() != ts(90) {
+		t.Fatalf("pairing after eviction: %v", got)
+	}
+}
+
+func TestHistoryCapEvictsOldest(t *testing.T) {
+	rules := map[int]event.Expr{
+		1: &event.Within{
+			X:   &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}},
+			Max: 1000 * time.Second, // huge retention so only the cap prunes
+		},
+	}
+	eng, _ := buildEngine(t, Config{MaxHistory: 5}, rules)
+	for i := 0; i < 50; i++ {
+		if err := eng.Ingest(obs("r2", "u", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := eng.Metrics()
+	if m.Dropped != 45 {
+		t.Fatalf("dropped = %d, want 45", m.Dropped)
+	}
+	nodes, _ := eng.Snapshot()
+	for _, n := range nodes {
+		if n.History > 5 {
+			t.Errorf("history exceeded cap: %+v", n)
+		}
+	}
+}
+
+func TestUnboundedByDefault(t *testing.T) {
+	rules := map[int]event.Expr{
+		1: &event.Seq{L: prim("rA", "o1", "t1"), R: prim("rB", "o2", "t2")},
+	}
+	eng, _ := buildEngine(t, Config{}, rules)
+	for i := 0; i < 200; i++ {
+		_ = eng.Ingest(obs("rA", "x", float64(i)))
+	}
+	if m := eng.Metrics(); m.Dropped != 0 {
+		t.Fatalf("unbounded engine dropped %d", m.Dropped)
+	}
+}

@@ -1,0 +1,504 @@
+package detect
+
+import (
+	"time"
+
+	pctx "rcep/internal/core/context"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// emit records an occurrence of node n and propagates it: into the node's
+// history when queried, to the rules rooted at n, and to every parent
+// (paper's ACTIVATE_PARENT_NODE).
+func (e *Engine) emit(n *graph.Node, inst *event.Instance) {
+	if n.HasWithin && inst.Interval() > n.Within {
+		return // violates the propagated interval constraint
+	}
+	e.m.Emitted++
+	st := e.states[n.ID]
+	if st.hist != nil {
+		st.hist.add(inst)
+		if n.Retention > 0 {
+			st.hist.pruneBefore(e.now.Add(-n.Retention - time.Nanosecond))
+		}
+	}
+	for _, rid := range n.Rules {
+		e.m.Detections++
+		e.onDetect(rid, inst)
+	}
+	for _, p := range n.Parents {
+		e.deliver(p, n, inst)
+	}
+}
+
+// deliver routes a child occurrence into a parent constructor.
+func (e *Engine) deliver(p *graph.Node, from *graph.Node, inst *event.Instance) {
+	switch p.Kind {
+	case graph.KindOr:
+		e.emit(p, &event.Instance{Begin: inst.Begin, End: inst.End, Binds: inst.Binds, Seq: e.nextSeq()})
+	case graph.KindNot:
+		// Occurrences of the negated child are visible through its
+		// history; the NOT node itself never emits spontaneously.
+	case graph.KindAnd:
+		e.andDeliver(p, from, inst)
+	case graph.KindSeq:
+		e.seqDeliver(p, from, inst)
+	case graph.KindSeqPlus:
+		e.seqPlusDeliver(p, inst)
+	}
+}
+
+// andDeliver implements conjunction. With a negated conjunct it runs the
+// paper's Fig. 8 protocol; otherwise it pairs the two positive sides under
+// the parameter context.
+func (e *Engine) andDeliver(p *graph.Node, from *graph.Node, inst *event.Instance) {
+	if p.NotChild >= 0 {
+		// WITHIN(P ∧ ¬N, w). Arrival of positive p: first check
+		// retrospectively for N in [t_end(p)−w, t_end(p)]; if clean,
+		// schedule a pseudo event at t_begin(p)+w querying
+		// [t_end(p), t_begin(p)+w].
+		w := p.Within
+		neg := p.Children[p.NotChild].Child()
+		filter := projectBinds(inst.Binds, p.JoinVars)
+		if e.occurs(neg, inst.End.Add(-w), inst.End, filter) {
+			return
+		}
+		e.schedule(&pseudoEvent{
+			exec: inst.Begin.Add(w), node: p, strategy: graph.PseudoAndNotExpire,
+			payload: inst, w0: inst.End, w1: inst.Begin.Add(w),
+		})
+		return
+	}
+	st := e.states[p.ID]
+	var mine, other *buffer
+	switch {
+	case p.Left() == p.Right():
+		// Self-conjunction AND(E, E): pair with an older sibling or wait.
+		mine, other = st.left, st.left
+	case from == p.Left():
+		mine, other = st.left, st.right
+	default:
+		mine, other = st.right, st.left
+	}
+	e.pair(p, st, inst, mine, other, false)
+}
+
+// seqDeliver implements sequence. The initiator is Children[0], the
+// terminator Children[1].
+func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instance) {
+	st := e.states[p.ID]
+	fromRight := from == p.Right()
+	// Negated terminator (outfield pattern): on initiator arrival,
+	// schedule the non-occurrence check at t_end(e1)+bound.
+	if p.NotChild == 1 {
+		if fromRight {
+			return
+		}
+		b, _ := p.Bound()
+		e.schedule(&pseudoEvent{
+			exec: inst.End.Add(b), node: p, strategy: graph.PseudoSeqNotTerm,
+			payload: inst, w0: inst.End + 1, w1: inst.End.Add(b),
+		})
+		return
+	}
+	// Negated initiator (infield pattern): on terminator arrival, check
+	// retrospectively that the negated event did not occur in
+	// [t_end(e2)−bound, t_begin(e2)).
+	if p.NotChild == 0 {
+		if !fromRight {
+			return
+		}
+		b, _ := p.Bound()
+		neg := p.Left().Child()
+		filter := projectBinds(inst.Binds, p.JoinVars)
+		if e.occurs(neg, inst.End.Add(-b), inst.Begin-1, filter) {
+			return
+		}
+		e.emit(p, &event.Instance{
+			Begin: inst.End.Add(-b), End: inst.End,
+			Binds: inst.Binds, Seq: e.nextSeq(),
+		})
+		return
+	}
+	if p.Left() == p.Right() {
+		// Self-sequence SEQ(E, E): the arrival terminates an older
+		// occurrence, or waits as a future initiator.
+		e.pair(p, st, inst, st.left, st.left, true)
+		return
+	}
+	if fromRight {
+		// Pulled SEQ+/TSEQ+ initiators are queried rather than buffered.
+		if l := p.Left(); l.Kind == graph.KindSeqPlus && !l.Pseudo {
+			e.seqPullInitiator(p, inst)
+			return
+		}
+		e.pair(p, st, inst, st.right, st.left, true)
+		return
+	}
+	e.pair(p, st, inst, st.left, st.right, false)
+}
+
+// pair matches an arriving instance against the opposite buffer of a
+// binary node under the engine's parameter context. mine is the buffer for
+// the arriving side (nil when arrivals are never buffered), other the
+// opposite side. arrivedRight distinguishes sequence terminators.
+func (e *Engine) pair(p *graph.Node, st *nodeState, inst *event.Instance, mine, other *buffer, arrivedRight bool) {
+	if other == nil {
+		// Nothing to match against (e.g. a sequence initiator whose
+		// terminator never waits); just buffer the arrival.
+		if mine != nil {
+			if e.ctx == pctx.Recent {
+				mine.replaceAll(inst)
+			} else {
+				mine.add(inst)
+			}
+		}
+		return
+	}
+	cond := e.pairCond(p, inst, arrivedRight)
+
+	var matches []*event.Instance
+	switch e.ctx {
+	case pctx.Chronicle:
+		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
+			if e.expired(p, c, inst, arrivedRight) {
+				return false, true
+			}
+			if cond(c) {
+				matches = append(matches, c)
+				return false, false // consume, stop
+			}
+			return true, true
+		})
+	case pctx.Recent:
+		var best *event.Instance
+		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
+			if e.expired(p, c, inst, arrivedRight) {
+				return false, true
+			}
+			if cond(c) && (best == nil || c.Seq > best.Seq) {
+				best = c
+			}
+			return true, true
+		})
+		if best != nil {
+			matches = append(matches, best)
+		}
+	case pctx.Continuous, pctx.Cumulative:
+		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
+			if e.expired(p, c, inst, arrivedRight) {
+				return false, true
+			}
+			if cond(c) {
+				matches = append(matches, c)
+				return false, true // consume, continue
+			}
+			return true, true
+		})
+	case pctx.Unrestricted:
+		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
+			if e.expired(p, c, inst, arrivedRight) {
+				return false, true
+			}
+			if cond(c) {
+				matches = append(matches, c)
+			}
+			return true, true
+		})
+	}
+
+	switch {
+	case len(matches) == 0:
+		if mine != nil {
+			if e.ctx == pctx.Recent {
+				mine.replaceAll(inst)
+			} else {
+				mine.add(inst)
+			}
+		}
+	case e.ctx == pctx.Cumulative:
+		// All matches merge into one detection.
+		combined := inst
+		for _, c := range matches {
+			combined = e.combine(p, c, combined)
+		}
+		e.emit(p, combined)
+	default:
+		for _, c := range matches {
+			e.emit(p, e.combine(p, c, inst))
+		}
+		if e.ctx == pctx.Unrestricted && mine != nil {
+			mine.add(inst)
+		}
+		if e.ctx == pctx.Recent && mine != nil {
+			mine.replaceAll(inst)
+		}
+	}
+}
+
+// pairCond builds the admissibility predicate for a candidate from the
+// opposite buffer: binding compatibility, sequence order, distance bounds
+// and the interval constraint.
+func (e *Engine) pairCond(p *graph.Node, inst *event.Instance, arrivedRight bool) func(*event.Instance) bool {
+	return func(c *event.Instance) bool {
+		var l, r *event.Instance
+		if p.Kind == graph.KindSeq {
+			if arrivedRight {
+				l, r = c, inst
+			} else {
+				l, r = inst, c
+			}
+			if l.End >= r.Begin {
+				return false
+			}
+			if p.HasDist {
+				d := event.Dist(l, r)
+				if d < p.Lo || d > p.Hi {
+					return false
+				}
+			}
+		}
+		if p.HasWithin && event.Interval2(c, inst) > p.Within {
+			return false
+		}
+		return true
+	}
+}
+
+// expired reports whether a buffered candidate can no longer match the
+// current or any future arrival, so it can be purged (the paper's
+// first-class constraint checking during detection).
+func (e *Engine) expired(p *graph.Node, c, inst *event.Instance, arrivedRight bool) bool {
+	if p.Kind == graph.KindSeq && arrivedRight {
+		// c is a pending initiator; future terminators end no earlier
+		// than inst.End.
+		if p.HasDist && c.End < inst.End.Add(-p.Hi) {
+			return true
+		}
+	}
+	if p.HasWithin {
+		// Future arrivals end no earlier than inst.End; an old candidate
+		// beginning more than Within before can never satisfy the
+		// interval constraint again.
+		slack := e.states[p.ID].closureDelay
+		if c.Begin < inst.End.Add(-p.Within-slack) {
+			return true
+		}
+	}
+	return false
+}
+
+// combine builds the detected instance from an initiator/left candidate
+// and the arriving instance.
+func (e *Engine) combine(p *graph.Node, c, inst *event.Instance) *event.Instance {
+	begin, end := event.SpanWith(c, inst)
+	return &event.Instance{Begin: begin, End: end, Binds: c.Binds.Merge(inst.Binds), Seq: e.nextSeq()}
+}
+
+// seqPullInitiator handles TSEQ/SEQ whose initiator is a pulled (queried)
+// SEQ+/TSEQ+ node: on terminator arrival the initiator node is queried for
+// determinably-closed sequences ending inside the distance window
+// (paper's QUERY_INTERVAL_NODE).
+func (e *Engine) seqPullInitiator(p *graph.Node, term *event.Instance) {
+	l := p.Left()
+	lo, hi := time.Duration(0), time.Duration(0)
+	if p.HasDist {
+		lo, hi = p.Lo, p.Hi
+	} else {
+		b, _ := p.Bound()
+		hi = b
+	}
+	w0 := term.End.Add(-hi)
+	w1 := term.End.Add(-lo)
+	if w1 > term.Begin-1 {
+		w1 = term.Begin - 1
+	}
+	filter := projectBinds(term.Binds, p.JoinVars)
+	seqInst := e.querySeqPlus(l, w0, w1, filter, p.ID)
+	if seqInst == nil {
+		return
+	}
+	if p.HasWithin && event.Interval2(seqInst, term) > p.Within {
+		return
+	}
+	e.emit(p, e.combine(p, seqInst, term))
+}
+
+// seqPlusDeliver feeds an element into an eager SEQ+/TSEQ+ node: extend
+// the open sequence when the adjacency bounds hold, otherwise close it and
+// start anew (semantics in DESIGN.md §3).
+func (e *Engine) seqPlusDeliver(n *graph.Node, inst *event.Instance) {
+	if !n.HasDist && n.Mode == graph.ModePull {
+		// Pull-mode SEQ+ is evaluated lazily from the child's history.
+		return
+	}
+	st := e.states[n.ID]
+	if st.open != nil {
+		d := inst.End.Sub(st.open.last)
+		broke := d < n.Lo || d > n.Hi
+		if !broke && n.HasWithin && inst.End.Sub(st.open.begin) > n.Within {
+			broke = true
+		}
+		if broke {
+			e.closeOpen(n, st)
+		}
+	}
+	if st.open == nil {
+		st.open = &openSeq{begin: inst.Begin, version: e.nextSeq()}
+	}
+	st.open.elems = append(st.open.elems, inst.Binds)
+	st.open.starts = append(st.open.starts, inst.Begin)
+	st.open.last = inst.End
+	st.open.version = e.nextSeq()
+	if e.maxOpen > 0 && len(st.open.elems) > e.maxOpen {
+		// Unbounded adjacent run (the stream never pauses): shed the
+		// older half so memory stays bounded. Prefer WITHIN bounds on
+		// the sequence; this is the lossy backstop.
+		drop := len(st.open.elems) / 2
+		e.m.Dropped += uint64(drop)
+		st.open.elems = append(st.open.elems[:0:0], st.open.elems[drop:]...)
+		st.open.starts = append(st.open.starts[:0:0], st.open.starts[drop:]...)
+		st.open.begin = st.open.starts[0]
+	}
+	if n.Pseudo {
+		e.schedule(&pseudoEvent{
+			exec: inst.End.Add(n.Hi), node: n, strategy: graph.PseudoSeqPlusClose,
+			version: st.open.version,
+		})
+	}
+}
+
+// closeOpen finalizes the node's open sequence into an instance. Pushing
+// nodes emit it; pulled nodes record it in history for later queries.
+func (e *Engine) closeOpen(n *graph.Node, st *nodeState) {
+	if st.open == nil {
+		return
+	}
+	inst := &event.Instance{
+		Begin: st.open.begin, End: st.open.last,
+		Binds: event.CollectLists(st.open.elems), Seq: e.nextSeq(),
+	}
+	st.open = nil
+	if n.Pseudo {
+		e.emit(n, inst)
+		return
+	}
+	if n.HasWithin && inst.Interval() > n.Within {
+		return
+	}
+	e.m.Emitted++
+	if st.hist != nil {
+		st.hist.add(inst)
+	}
+}
+
+// lazyClose closes a pulled TSEQ+'s open sequence once no further element
+// can extend it (every observation up to e.now has been seen).
+func (e *Engine) lazyClose(n *graph.Node, st *nodeState) {
+	if st.open != nil && n.HasDist && st.open.last.Add(n.Hi) < e.now {
+		e.closeOpen(n, st)
+	}
+}
+
+// querySeqPlus returns the oldest sequence instance of a pulled SEQ+/TSEQ+
+// node ending inside [w0, w1] that the consumer node has not yet claimed,
+// or nil; the returned instance is claimed for that consumer (chronicle).
+func (e *Engine) querySeqPlus(n *graph.Node, w0, w1 event.Time, filter event.Bindings, consumer int) *event.Instance {
+	st := e.states[n.ID]
+	if n.HasDist {
+		// Eagerly built TSEQ+: close lazily, then take from history.
+		e.lazyClose(n, st)
+		var found *event.Instance
+		if st.hist == nil {
+			return nil
+		}
+		st.hist.inWindow(w0, w1, filter, consumer, func(in *event.Instance) bool {
+			found = in
+			return false
+		})
+		if found != nil {
+			st.hist.markConsumed(consumer, found)
+		}
+		return found
+	}
+	// Pull-mode SEQ+: one maximal sequence of all child occurrences in the
+	// window (adjacency is unconstrained).
+	child := n.Child()
+	cst := e.states[child.ID]
+	if cst.hist == nil {
+		return nil
+	}
+	var elems []event.Bindings
+	var begin, end event.Time
+	var members []*event.Instance
+	cst.hist.inWindow(w0, w1, filter, consumer, func(in *event.Instance) bool {
+		if len(elems) == 0 || in.Begin < begin {
+			begin = in.Begin
+		}
+		if in.End > end {
+			end = in.End
+		}
+		elems = append(elems, in.Binds)
+		members = append(members, in)
+		return true
+	})
+	if len(elems) == 0 {
+		return nil
+	}
+	for _, m := range members {
+		cst.hist.markConsumed(consumer, m)
+	}
+	return &event.Instance{Begin: begin, End: end, Binds: event.CollectLists(elems), Seq: e.nextSeq()}
+}
+
+// occurs reports whether node n has an occurrence in [a, b] compatible
+// with filter. Used for negation checks.
+func (e *Engine) occurs(n *graph.Node, a, b event.Time, filter event.Bindings) bool {
+	st := e.states[n.ID]
+	if n.Kind == graph.KindSeqPlus && !n.Pseudo {
+		e.lazyClose(n, st)
+	}
+	if st.hist == nil {
+		return false
+	}
+	found := false
+	st.hist.inWindow(a, b, filter, anyConsumer, func(*event.Instance) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// fire executes a pseudo event (paper's pseudo-event handling in RCEDA).
+func (e *Engine) fire(ps *pseudoEvent) {
+	switch ps.strategy {
+	case graph.PseudoAndNotExpire:
+		p := ps.node
+		neg := p.Children[p.NotChild].Child()
+		filter := projectBinds(ps.payload.Binds, p.JoinVars)
+		if e.occurs(neg, ps.w0, ps.w1, filter) {
+			return
+		}
+		e.emit(p, &event.Instance{
+			Begin: ps.payload.Begin, End: ps.w1,
+			Binds: ps.payload.Binds, Seq: e.nextSeq(),
+		})
+	case graph.PseudoSeqNotTerm:
+		p := ps.node
+		neg := p.Right().Child()
+		filter := projectBinds(ps.payload.Binds, p.JoinVars)
+		if e.occurs(neg, ps.w0, ps.w1, filter) {
+			return
+		}
+		e.emit(p, &event.Instance{
+			Begin: ps.payload.Begin, End: ps.w1,
+			Binds: ps.payload.Binds, Seq: e.nextSeq(),
+		})
+	case graph.PseudoSeqPlusClose:
+		st := e.states[ps.node.ID]
+		if st.open != nil && st.open.version == ps.version {
+			e.closeOpen(ps.node, st)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package event
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseDuration parses the duration syntax used in the paper's rules, such
+// as "5sec", "0.1sec", "10min", "100msec" or "2hour". It also accepts Go's
+// native forms ("1.5s", "200ms") as a fallback.
+func ParseDuration(s string) (time.Duration, error) {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" {
+		return 0, fmt.Errorf("event: empty duration")
+	}
+	// Split the numeric prefix from the unit suffix.
+	i := 0
+	for i < len(trimmed) {
+		c := trimmed[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' {
+			i++
+			continue
+		}
+		break
+	}
+	num, unit := trimmed[:i], strings.ToLower(strings.TrimSpace(trimmed[i:]))
+	if num == "" {
+		return 0, fmt.Errorf("event: duration %q has no numeric part", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("event: bad duration %q: %v", s, err)
+	}
+	var scale time.Duration
+	switch unit {
+	case "ns", "nsec":
+		scale = time.Nanosecond
+	case "us", "usec", "µs":
+		scale = time.Microsecond
+	case "ms", "msec", "millisecond", "milliseconds":
+		scale = time.Millisecond
+	case "s", "sec", "secs", "second", "seconds":
+		scale = time.Second
+	case "m", "min", "mins", "minute", "minutes":
+		scale = time.Minute
+	case "h", "hr", "hour", "hours":
+		scale = time.Hour
+	case "d", "day", "days":
+		scale = 24 * time.Hour
+	default:
+		// Fall back to Go's parser for compound forms like "1h30m".
+		d, gerr := time.ParseDuration(trimmed)
+		if gerr != nil {
+			return 0, fmt.Errorf("event: unknown duration unit in %q", s)
+		}
+		return d, nil
+	}
+	d := time.Duration(f * float64(scale))
+	if f < 0 {
+		return 0, fmt.Errorf("event: negative duration %q", s)
+	}
+	return d, nil
+}
+
+// FormatDuration renders d in the paper's style: integral seconds become
+// "Nsec", sub-second values "Nmsec", and minutes "Nmin" when exact.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dmin", d/time.Minute)
+	case d >= time.Second && d%time.Second == 0:
+		return fmt.Sprintf("%dsec", d/time.Second)
+	case d >= time.Millisecond && d < time.Second && d%time.Millisecond == 0:
+		return fmt.Sprintf("%dmsec", d/time.Millisecond)
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,103 @@
+package event
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomValue(r *rand.Rand, depth int) Value {
+	switch r.Intn(7) {
+	case 0:
+		return Null
+	case 1:
+		return StringValue(string(rune('a' + r.Intn(26))))
+	case 2:
+		return IntValue(r.Int63() - r.Int63())
+	case 3:
+		return FloatValue(r.NormFloat64())
+	case 4:
+		return BoolValue(r.Intn(2) == 0)
+	case 5:
+		return TimeValue(Time(r.Int63()))
+	default:
+		if depth > 2 {
+			return IntValue(int64(depth))
+		}
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth+1)
+		}
+		return ListValue(elems)
+	}
+}
+
+func TestValueJSONRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 0)
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Logf("seed %d: marshal: %v", seed, err)
+			return false
+		}
+		var got Value
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Logf("seed %d: unmarshal: %v", seed, err)
+			return false
+		}
+		if v.Kind() == KindFloat {
+			// NaN never equals itself; treat representation as enough.
+			return got.Kind() == KindFloat
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Logf("seed %d: %v (%v) != %v (%v)", seed, got, got.Kind(), v, v.Kind())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindingsJSONRoundTrip(t *testing.T) {
+	b := Bindings{
+		"o":  StringValue("obj1"),
+		"t":  TimeValue(ts(5)),
+		"n":  IntValue(7),
+		"ls": ListValue([]Value{StringValue("a"), Null}),
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Bindings
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(b) {
+		t.Fatalf("round trip: %v", got)
+	}
+	for k, v := range b {
+		if !got[k].Equal(v) {
+			t.Errorf("binding %s: %v != %v", k, got[k], v)
+		}
+	}
+}
+
+func TestValueJSONErrors(t *testing.T) {
+	var v Value
+	if err := v.UnmarshalJSON([]byte(`[1,2]`)); err == nil {
+		t.Errorf("array accepted as value")
+	}
+	if err := v.UnmarshalJSON([]byte(`{"i":"x"}`)); err == nil {
+		t.Errorf("mistyped field accepted")
+	}
+	// Unknown shape decodes to null, not an error (forward compat).
+	if err := v.UnmarshalJSON([]byte(`{}`)); err != nil || !v.IsNull() {
+		t.Errorf("empty object: %v %v", v, err)
+	}
+}

@@ -1,0 +1,348 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the dynamic types a Value can hold.
+type Kind uint8
+
+// Value kinds. KindList values arise only from aggregating sequence
+// constructors (SEQ+, TSEQ+), which collect one element per constituent.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindTime
+	KindList
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	case KindList:
+		return "list"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed scalar or list used in event bindings, rule
+// conditions and the mini-SQL engine. The zero Value is null.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+	t    Time
+	list []Value
+}
+
+// Null is the null Value.
+var Null = Value{}
+
+// StringValue returns a string Value.
+func StringValue(s string) Value { return Value{kind: KindString, s: s} }
+
+// IntValue returns an integer Value.
+func IntValue(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// FloatValue returns a floating-point Value.
+func FloatValue(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// BoolValue returns a boolean Value.
+func BoolValue(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// TimeValue returns a timestamp Value.
+func TimeValue(t Time) Value { return Value{kind: KindTime, t: t} }
+
+// ListValue returns a list Value holding elems. The slice is not copied.
+func ListValue(elems []Value) Value { return Value{kind: KindList, list: elems} }
+
+// Kind returns the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload; it is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer payload, converting floats by truncation.
+func (v Value) Int() int64 {
+	if v.kind == KindFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// Float returns the floating-point payload, converting integers.
+func (v Value) Float() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.b }
+
+// Time returns the timestamp payload.
+func (v Value) Time() Time { return v.t }
+
+// List returns the list payload; it is only meaningful for KindList.
+func (v Value) List() []Value { return v.list }
+
+// Len returns the number of list elements, or 1 for scalars and 0 for null.
+func (v Value) Len() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindList:
+		return len(v.list)
+	default:
+		return 1
+	}
+}
+
+// Elem returns the i'th element for lists, or the value itself for scalars.
+func (v Value) Elem(i int) Value {
+	if v.kind == KindList {
+		return v.list[i]
+	}
+	return v
+}
+
+// Equal reports deep equality of two values. Int and float values compare
+// numerically (IntValue(3).Equal(FloatValue(3)) is true).
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindList || w.kind == KindList {
+		if v.kind != KindList || w.kind != KindList || len(v.list) != len(w.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(w.list[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	c, ok := v.Compare(w)
+	return ok && c == 0
+}
+
+// Compare orders two scalar values. It returns -1, 0 or 1 and ok=true when
+// the values are comparable (same family: numeric with numeric, string with
+// string, time with time, bool with bool); otherwise ok is false.
+func (v Value) Compare(w Value) (int, bool) {
+	switch {
+	case v.kind == KindNull && w.kind == KindNull:
+		return 0, true
+	case v.kind == KindNull || w.kind == KindNull:
+		return 0, false
+	}
+	numeric := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	switch {
+	case numeric(v.kind) && numeric(w.kind):
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpOrdered(v.i, w.i), true
+		}
+		return cmpOrdered(v.Float(), w.Float()), true
+	case v.kind == KindString && w.kind == KindString:
+		return strings.Compare(v.s, w.s), true
+	case v.kind == KindTime && w.kind == KindTime:
+		return cmpOrdered(v.t, w.t), true
+	case v.kind == KindBool && w.kind == KindBool:
+		switch {
+		case v.b == w.b:
+			return 0, true
+		case !v.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+func cmpOrdered[T int64 | float64 | Time](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTime:
+		return v.t.String()
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	}
+	return "?"
+}
+
+// Bindings maps rule variables to values. Scalar bindings come from single
+// observations; list bindings from aggregating sequence constructors.
+type Bindings map[string]Value
+
+// Clone returns a shallow copy of b (list payloads are shared, which is
+// safe because values are immutable once bound).
+func (b Bindings) Clone() Bindings {
+	if b == nil {
+		return nil
+	}
+	c := make(Bindings, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Compatible reports whether b and o agree on every variable they share.
+// List-valued bindings are compared by deep equality.
+func (b Bindings) Compatible(o Bindings) bool {
+	small, large := b, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of b and o. The caller must have checked
+// Compatible first; on conflict o's value wins.
+func (b Bindings) Merge(o Bindings) Bindings {
+	if len(b) == 0 {
+		return o.Clone()
+	}
+	m := b.Clone()
+	for k, v := range o {
+		m[k] = v
+	}
+	return m
+}
+
+// Project returns b restricted to the given keys, with a canonical string
+// form usable as a hash key for partitioned instance buffers. Keys missing
+// from b are rendered as null. The second return is false when keys is
+// empty (no partitioning applies).
+func (b Bindings) Project(keys []string) (string, bool) {
+	if len(keys) == 0 {
+		return "", false
+	}
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(b[k].String())
+		sb.WriteByte('\x00')
+	}
+	return sb.String(), true
+}
+
+// Vars returns the sorted variable names bound in b.
+func (b Bindings) Vars() []string {
+	vars := make([]string, 0, len(b))
+	for k := range b {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// String renders bindings deterministically (sorted by variable).
+func (b Bindings) String() string {
+	if len(b) == 0 {
+		return "{}"
+	}
+	vars := b.Vars()
+	parts := make([]string, len(vars))
+	for i, k := range vars {
+		parts[i] = k + "=" + b[k].String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// CollectLists merges a sequence of element bindings into list bindings:
+// for every variable bound by any element, the result binds that variable
+// to the ordered list of its values across elements (null where an element
+// did not bind it). Used by SEQ+/TSEQ+ when a sequence closes.
+func CollectLists(elems []Bindings) Bindings {
+	if len(elems) == 0 {
+		return nil
+	}
+	keys := map[string]struct{}{}
+	for _, e := range elems {
+		for k := range e {
+			keys[k] = struct{}{}
+		}
+	}
+	out := make(Bindings, len(keys))
+	for k := range keys {
+		vals := make([]Value, len(elems))
+		for i, e := range elems {
+			vals[i] = e[k]
+		}
+		out[k] = ListValue(vals)
+	}
+	return out
+}
+
+// ParseScalar interprets a literal string as the most specific scalar value:
+// int, float, bool, else string. Rule and SQL literals use it.
+func ParseScalar(s string) Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return IntValue(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return FloatValue(f)
+	}
+	if b, err := strconv.ParseBool(s); err == nil {
+		return BoolValue(b)
+	}
+	return StringValue(s)
+}
+
+// DurationValue converts a duration to a float Value in seconds; useful in
+// conditions comparing interval lengths.
+func DurationValue(d time.Duration) Value { return FloatValue(d.Seconds()) }

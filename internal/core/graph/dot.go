@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rcep/internal/core/event"
+)
+
+// WriteDot renders the event graph in Graphviz dot form, for debugging
+// and documentation: leaves are primitive patterns, internal nodes show
+// their constructor, constraints, detection mode and pseudo strategy;
+// dashed edges feed NOT nodes; rule roots are double-circled.
+func WriteDot(w io.Writer, g *Graph) error {
+	var b strings.Builder
+	b.WriteString("digraph rceda {\n")
+	b.WriteString("  rankdir=BT;\n  node [fontname=\"monospace\", fontsize=10];\n")
+	for _, n := range g.Nodes {
+		// Quote manually: the label embeds dot's \n escape, which %q
+		// would double-escape.
+		label := strings.ReplaceAll(nodeLabel(n), `"`, `\"`)
+		attrs := `label="` + label + `"`
+		if n.Kind == KindPrim {
+			attrs += ", shape=box"
+		} else {
+			attrs += ", shape=ellipse"
+		}
+		if n.IsRoot() {
+			attrs += ", peripheries=2"
+		}
+		switch n.Mode {
+		case ModePull:
+			attrs += ", style=dashed"
+		case ModeMixed:
+			attrs += ", style=bold"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+	}
+	for _, n := range g.Nodes {
+		for i, c := range n.Children {
+			edge := ""
+			if n.Kind == KindSeq && len(n.Children) == 2 {
+				if i == 0 {
+					edge = " [label=\"initiator\"]"
+				} else {
+					edge = " [label=\"terminator\"]"
+				}
+			}
+			if n.Kind == KindNot {
+				edge = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", c.ID, n.ID, edge)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func nodeLabel(n *Node) string {
+	var parts []string
+	if n.Kind == KindPrim {
+		parts = append(parts, n.Prim.String())
+	} else {
+		parts = append(parts, n.Kind.String())
+	}
+	if n.HasDist {
+		parts = append(parts, fmt.Sprintf("dist[%s,%s]",
+			event.FormatDuration(n.Lo), event.FormatDuration(n.Hi)))
+	}
+	if n.HasWithin {
+		parts = append(parts, "within["+event.FormatDuration(n.Within)+"]")
+	}
+	parts = append(parts, n.Mode.String())
+	if n.Pseudo {
+		parts = append(parts, "pseudo:"+n.Strategy.String())
+	}
+	if len(n.Rules) > 0 {
+		parts = append(parts, fmt.Sprintf("rules=%v", n.Rules))
+	}
+	return strings.Join(parts, "\\n")
+}

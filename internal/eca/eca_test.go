@@ -1,0 +1,212 @@
+package eca
+
+import (
+	"testing"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+func ts(sec float64) event.Time { return event.Time(sec * float64(time.Second)) }
+
+func prim(reader, objVar, timeVar string) *event.Prim {
+	return &event.Prim{
+		Reader: event.Term{Lit: reader},
+		Object: event.Term{Var: objVar},
+		At:     event.Term{Var: timeVar},
+	}
+}
+
+func obs(reader, object string, sec float64) event.Observation {
+	return event.Observation{Reader: reader, Object: object, At: ts(sec)}
+}
+
+func run(t *testing.T, expr event.Expr, history []event.Observation) []*event.Instance {
+	t.Helper()
+	var got []*event.Instance
+	e, err := New(Config{
+		Rules:    map[int]event.Expr{1: expr},
+		OnDetect: func(_ int, in *event.Instance) { got = append(got, in) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range history {
+		if err := e.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	return got
+}
+
+// fig4History is the event history of paper Fig. 4.
+func fig4History() []event.Observation {
+	return []event.Observation{
+		obs("r1", "i1", 1), obs("r1", "i2", 2), obs("r1", "i3", 3),
+		obs("r1", "i5", 5), obs("r1", "i6", 6), obs("r1", "i7", 7),
+		obs("r2", "c1", 12), obs("r2", "c2", 15),
+	}
+}
+
+func fig4Expr() event.Expr {
+	return &event.TSeq{
+		L:  &event.TSeqPlus{X: prim("r1", "o1", "t1"), Lo: 0, Hi: time.Second},
+		R:  prim("r2", "o2", "t2"),
+		Lo: 5 * time.Second, Hi: 10 * time.Second,
+	}
+}
+
+// TestFig4BaselineIsIncorrect reproduces the paper's §4.1 argument: the
+// type-level baseline detects NOTHING on the Fig. 4 history (the whole
+// accumulation {e1@1..7} fails the post-hoc adjacency check and is gone),
+// while RCEDA detects the two intended instances.
+func TestFig4BaselineIsIncorrect(t *testing.T) {
+	baseline := run(t, fig4Expr(), fig4History())
+	if len(baseline) != 0 {
+		t.Fatalf("type-level baseline found %d instances; the paper's point is it finds 0", len(baseline))
+	}
+
+	// RCEDA on the same history: exactly 2.
+	b := graph.NewBuilder()
+	if _, err := b.AddRule(1, fig4Expr()); err != nil {
+		t.Fatal(err)
+	}
+	var rceda int
+	eng, err := detect.New(detect.Config{
+		Graph:    b.Finalize(),
+		OnDetect: func(int, *event.Instance) { rceda++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range fig4History() {
+		if err := eng.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Close()
+	if rceda != 2 {
+		t.Fatalf("RCEDA found %d instances, want 2", rceda)
+	}
+}
+
+func TestBaselineMetricsShowRejection(t *testing.T) {
+	var e *Engine
+	e, err := New(Config{Rules: map[int]event.Expr{1: fig4Expr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range fig4History() {
+		_ = e.Ingest(o)
+	}
+	m := e.Metrics()
+	if m.Assembled == 0 || m.Rejected != m.Assembled {
+		t.Fatalf("expected all assembled instances rejected post-hoc: %+v", m)
+	}
+}
+
+// TestBaselineAgreesWithoutTemporalConstraints: with no instance-level
+// temporal constraints the type-level baseline and RCEDA agree — the
+// incorrectness is specifically about temporal constraints.
+func TestBaselineAgreesWithoutTemporalConstraints(t *testing.T) {
+	expr := func() event.Expr {
+		return &event.Seq{L: prim("rA", "o1", "t1"), R: prim("rB", "o2", "t2")}
+	}
+	history := []event.Observation{
+		obs("rA", "a1", 1), obs("rA", "a2", 2), obs("rB", "b1", 3), obs("rB", "b2", 4),
+	}
+	baseline := run(t, expr(), history)
+
+	b := graph.NewBuilder()
+	if _, err := b.AddRule(1, expr()); err != nil {
+		t.Fatal(err)
+	}
+	var rceda []*event.Instance
+	eng, err := detect.New(detect.Config{
+		Graph:    b.Finalize(),
+		OnDetect: func(_ int, in *event.Instance) { rceda = append(rceda, in) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range history {
+		_ = eng.Ingest(o)
+	}
+	eng.Close()
+
+	if len(baseline) != len(rceda) {
+		t.Fatalf("baseline %d vs RCEDA %d", len(baseline), len(rceda))
+	}
+	for i := range baseline {
+		if baseline[i].Binds["o1"].Str() != rceda[i].Binds["o1"].Str() ||
+			baseline[i].Binds["o2"].Str() != rceda[i].Binds["o2"].Str() {
+			t.Errorf("pairing %d differs: %v vs %v", i, baseline[i].Binds, rceda[i].Binds)
+		}
+	}
+}
+
+func TestBaselineAndOr(t *testing.T) {
+	and := &event.And{L: prim("r1", "o1", "t1"), R: prim("r2", "o2", "t2")}
+	got := run(t, and, []event.Observation{obs("r2", "b", 1), obs("r1", "a", 3)})
+	if len(got) != 1 || got[0].Begin != ts(1) || got[0].End != ts(3) {
+		t.Fatalf("AND: %v", got)
+	}
+	or := &event.Or{L: prim("r1", "o", "t"), R: prim("r2", "o", "t")}
+	if got := run(t, or, []event.Observation{obs("r1", "a", 1), obs("r3", "x", 2), obs("r2", "b", 3)}); len(got) != 2 {
+		t.Fatalf("OR: %v", got)
+	}
+}
+
+func TestBaselineWithinAsCondition(t *testing.T) {
+	// WITHIN is checked after assembly: a too-long pair is assembled then
+	// rejected, consuming the initiator (unlike RCEDA, which purges and
+	// re-pairs correctly).
+	expr := &event.Within{
+		X:   &event.Seq{L: prim("r1", "o1", "t1"), R: prim("r2", "o2", "t2")},
+		Max: 2 * time.Second,
+	}
+	got := run(t, expr, []event.Observation{obs("r1", "a", 0), obs("r2", "b", 5)})
+	if len(got) != 0 {
+		t.Fatalf("WITHIN condition should reject: %v", got)
+	}
+}
+
+func TestBaselineRejectsNegation(t *testing.T) {
+	_, err := New(Config{Rules: map[int]event.Expr{
+		1: &event.Within{X: &event.And{L: prim("r1", "o1", "t1"), R: &event.Not{X: prim("r2", "o2", "t2")}}, Max: time.Second},
+	}})
+	if err == nil {
+		t.Fatalf("traditional ECA should reject general negation")
+	}
+}
+
+func TestBaselineGroupAndTypePredicates(t *testing.T) {
+	expr := &event.Prim{
+		Reader: event.Term{Var: "r"},
+		Object: event.Term{Var: "o"},
+		At:     event.Term{Var: "t"},
+		Preds: []event.Pred{
+			{Fn: "group", Arg: "r", Op: event.CmpEq, Val: "g1"},
+			{Fn: "type", Arg: "o", Op: event.CmpEq, Val: "case"},
+		},
+	}
+	var got int
+	e, err := New(Config{
+		Rules:    map[int]event.Expr{1: expr},
+		Groups:   func(r string) []string { return map[string][]string{"rA": {"g1"}}[r] },
+		TypeOf:   func(o string) string { return map[string]string{"c1": "case"}[o] },
+		OnDetect: func(int, *event.Instance) { got++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Ingest(obs("rA", "c1", 1)) // matches
+	_ = e.Ingest(obs("rB", "c1", 2)) // wrong group
+	_ = e.Ingest(obs("rA", "x1", 3)) // wrong type
+	if got != 1 {
+		t.Fatalf("predicate matching: %d", got)
+	}
+}

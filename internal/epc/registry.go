@@ -1,0 +1,89 @@
+package epc
+
+import "sync"
+
+// Registry implements the user-defined type(o) function of paper §2.1:
+// "the type can be extracted from its EPC value with a user-defined
+// extraction function, or specified by a user with a mapping function".
+// It resolves, in order: an explicit per-EPC mapping, a GID object-class
+// mapping, an SGTIN (company prefix, item reference) mapping, and finally
+// a fallback function.
+type Registry struct {
+	mu       sync.RWMutex
+	explicit map[string]string    // raw object string → type
+	gidClass map[uint64]string    // GID object class → type
+	sgtin    map[[2]uint64]string // (company prefix, item ref) → type
+	fallback func(object string) string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		explicit: map[string]string{},
+		gidClass: map[uint64]string{},
+		sgtin:    map[[2]uint64]string{},
+	}
+}
+
+// Map assigns a type to one specific object identifier (any string).
+func (r *Registry) Map(object, typ string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.explicit[object] = typ
+}
+
+// MapGIDClass assigns a type to every GID-96 EPC with the given object
+// class.
+func (r *Registry) MapGIDClass(class uint64, typ string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gidClass[class] = typ
+}
+
+// MapSGTIN assigns a type to every SGTIN-96 EPC with the given company
+// prefix and item reference.
+func (r *Registry) MapSGTIN(companyPrefix, itemRef uint64, typ string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sgtin[[2]uint64{companyPrefix, itemRef}] = typ
+}
+
+// SetFallback installs a catch-all extraction function.
+func (r *Registry) SetFallback(fn func(object string) string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = fn
+}
+
+// TypeOf resolves the type of an object identifier. Objects in hex EPC
+// form are decoded; unknown objects yield "".
+func (r *Registry) TypeOf(object string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if t, ok := r.explicit[object]; ok {
+		return t
+	}
+	if b, err := ParseHex(object); err == nil {
+		switch SchemeOf(b) {
+		case SchemeGID96:
+			if g, err := DecodeGID(b); err == nil {
+				if t, ok := r.gidClass[g.Class]; ok {
+					return t
+				}
+			}
+		case SchemeSGTIN96:
+			if s, err := DecodeSGTIN(b); err == nil {
+				if t, ok := r.sgtin[[2]uint64{s.CompanyPrefix, s.ItemRef}]; ok {
+					return t
+				}
+			}
+		case SchemeSSCC96:
+			// Logistics units have no item reference; rely on explicit
+			// or fallback mappings.
+		}
+	}
+	if r.fallback != nil {
+		return r.fallback(object)
+	}
+	return ""
+}

@@ -1,0 +1,39 @@
+package lex
+
+import "testing"
+
+// FuzzTokenize: the tokenizer must never panic or loop; every token must
+// carry sane positions. Run with `go test -fuzz FuzzTokenize` for a real
+// fuzzing session; the seed corpus runs as part of the normal suite.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"CREATE RULE r4, containment rule",
+		"observation('r1', o, t), type(o) = 'laptop'",
+		"TSEQ+(E1, 0.1sec, 1sec)",
+		"a <= b >= c != d <> e || f",
+		"E1 ∧ ¬E2 ∨ E3",
+		"'unterminated",
+		"1.2.3",
+		"-- comment\nx",
+		"'it''s'",
+		"\x00\xff\xfe",
+		"𝛼𝛽𝛾",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatalf("missing EOF token: %v", toks)
+		}
+		for _, tok := range toks {
+			if tok.Line < 1 || tok.Col < 1 {
+				t.Fatalf("bad position: %+v", tok)
+			}
+		}
+	})
+}

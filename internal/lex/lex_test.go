@@ -1,0 +1,206 @@
+package lex
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`CREATE RULE r4, 'containment rule' ON TSEQ(E1; E2, 0.1sec, 10sec)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Ident, "CREATE"}, {Ident, "RULE"}, {Ident, "r4"}, {Punct, ","},
+		{String, "containment rule"}, {Ident, "ON"}, {Ident, "TSEQ"},
+		{Punct, "("}, {Ident, "E1"}, {Punct, ";"}, {Ident, "E2"}, {Punct, ","},
+		{Number, "0.1"}, {Ident, "sec"}, {Punct, ","}, {Number, "10"},
+		{Ident, "sec"}, {Punct, ")"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), kinds(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestTokenizeStringsAndEscapes(t *testing.T) {
+	toks, err := Tokenize(`'it''s' "double" 'mix"ed'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" || toks[1].Text != "double" || toks[2].Text != `mix"ed` {
+		t.Errorf("strings: %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a -- comment here\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comment handling: %v", toks)
+	}
+	if toks[1].Line != 2 {
+		t.Errorf("line tracking: %+v", toks[1])
+	}
+}
+
+func TestTokenizeTwoRunePuncts(t *testing.T) {
+	toks, err := Tokenize("a <= b >= c != d <> e || f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var puncts []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			puncts = append(puncts, tok.Text)
+		}
+	}
+	want := []string{"<=", ">=", "!=", "<>", "||"}
+	if strings.Join(puncts, " ") != strings.Join(want, " ") {
+		t.Errorf("puncts = %v, want %v", puncts, want)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Errorf("unterminated string accepted")
+	}
+	if _, err := Tokenize("1.2.3"); err == nil {
+		t.Errorf("malformed number accepted")
+	}
+	if _, err := Tokenize("a $ b"); err == nil {
+		t.Errorf("stray character accepted")
+	}
+}
+
+func TestStreamHelpers(t *testing.T) {
+	s, err := NewStream("ON event IF true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Peek().IsKeyword("on") {
+		t.Errorf("Peek/IsKeyword failed")
+	}
+	if _, err := s.ExpectKeyword("ON"); err != nil {
+		t.Fatal(err)
+	}
+	if tok, err := s.ExpectIdent(); err != nil || tok.Text != "event" {
+		t.Fatalf("ExpectIdent: %v %v", tok, err)
+	}
+	if !s.AcceptKeyword("IF") {
+		t.Errorf("AcceptKeyword failed")
+	}
+	if s.AcceptKeyword("missing") {
+		t.Errorf("AcceptKeyword matched wrong keyword")
+	}
+	if s.PeekAt(0).Text != "true" {
+		t.Errorf("PeekAt: %v", s.PeekAt(0))
+	}
+	s.Next()
+	if !s.AtEOF() {
+		t.Errorf("should be at EOF")
+	}
+	// Next at EOF stays at EOF.
+	if s.Next().Kind != EOF || s.Next().Kind != EOF {
+		t.Errorf("EOF should be sticky")
+	}
+}
+
+func TestExpectErrors(t *testing.T) {
+	s, _ := NewStream("abc")
+	if _, err := s.Expect("("); err == nil {
+		t.Errorf("Expect should fail")
+	} else if !strings.Contains(err.Error(), "line 1:1") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	if _, err := s.ExpectKeyword("on"); err == nil {
+		t.Errorf("ExpectKeyword should fail on wrong keyword")
+	}
+	s2, _ := NewStream("123")
+	if _, err := s2.ExpectIdent(); err == nil {
+		t.Errorf("ExpectIdent should fail on number")
+	}
+}
+
+func TestPosSliceJoinText(t *testing.T) {
+	s, err := NewStream(`INSERT INTO t VALUES ('it''s', 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := s.Pos()
+	for !s.AtEOF() {
+		s.Next()
+	}
+	toks := s.Slice(start, s.Pos())
+	text := JoinText(toks)
+	// Strings are re-quoted with doubled quotes.
+	if !strings.Contains(text, "'it''s'") {
+		t.Errorf("JoinText: %q", text)
+	}
+	if !strings.HasPrefix(text, "INSERT INTO t VALUES") {
+		t.Errorf("JoinText prefix: %q", text)
+	}
+	// Round trip: the joined text must lex to the same token kinds.
+	toks2, err := Tokenize(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks2)-1 != len(toks) { // Slice excludes EOF; Tokenize adds one
+		t.Errorf("token count drift: %d vs %d", len(toks2)-1, len(toks))
+	}
+}
+
+func TestKindAndTokenStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EOF: "EOF", Ident: "identifier", Number: "number",
+		String: "string", Punct: "punctuation",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d string %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "kind(") {
+		t.Errorf("unknown kind")
+	}
+	if (Token{Kind: EOF}).String() != "end of input" {
+		t.Errorf("EOF token string")
+	}
+	if (Token{Kind: String, Text: "x"}).String() != "'x'" {
+		t.Errorf("string token string")
+	}
+	if (Token{Kind: Ident, Text: "abc"}).String() != "abc" {
+		t.Errorf("ident token string")
+	}
+}
+
+func TestUnicodePunct(t *testing.T) {
+	toks, err := Tokenize("E1 ∧ ¬E2 ∨ E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks[:len(toks)-1] {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"E1", "∧", "¬", "E2", "∨", "E3"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("unicode puncts: %v", texts)
+	}
+}

@@ -1,0 +1,235 @@
+package llrp
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/epc"
+)
+
+func tag(serial uint64, at time.Duration, rssi int16) TagReport {
+	b, err := epc.GID{Manager: 1, Class: 2, Serial: serial}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return TagReport{EPC: b, Timestamp: at, Antenna: 1, PeakRSSI: rssi}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Message{
+		Type: MsgROAccessReport, ID: 42,
+		Tags: []TagReport{
+			tag(1, 1500*time.Millisecond, -601),
+			tag(2, 1700*time.Millisecond, -550),
+		},
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("consumed %d of %d", n, len(frame))
+	}
+	if got.ID != 42 || got.Type != MsgROAccessReport || len(got.Tags) != 2 {
+		t.Fatalf("decoded: %+v", got)
+	}
+	for i := range m.Tags {
+		if got.Tags[i] != m.Tags[i] {
+			t.Errorf("tag %d: %+v != %+v", i, got.Tags[i], m.Tags[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Message{Type: MsgROAccessReport, ID: r.Uint32()}
+		for i := 0; i < r.Intn(10); i++ {
+			m.Tags = append(m.Tags, tag(
+				r.Uint64()%(1<<36),
+				time.Duration(r.Int63n(1e15))/time.Microsecond*time.Microsecond,
+				int16(r.Intn(2000)-1500),
+			))
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(frame)
+		if err != nil || n != len(frame) || got.ID != m.ID || len(got.Tags) != len(m.Tags) {
+			return false
+		}
+		for i := range m.Tags {
+			if got.Tags[i] != m.Tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlMessages(t *testing.T) {
+	for _, mt := range []MsgType{MsgKeepalive, MsgReaderEvent} {
+		frame, err := Encode(Message{Type: mt, ID: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Decode(frame)
+		if err != nil || got.Type != mt || got.ID != 7 || got.Tags != nil {
+			t.Errorf("%v: %+v err=%v", mt, got, err)
+		}
+	}
+	if _, err := Encode(Message{Type: MsgKeepalive, Tags: []TagReport{{}}}); err == nil {
+		t.Errorf("keepalive with tags accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, _ := Encode(Message{Type: MsgKeepalive, ID: 1})
+
+	if _, _, err := Decode(good[:4]); err != io.ErrShortBuffer {
+		t.Errorf("short header: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 9
+	if _, _, err := Decode(bad); err == nil {
+		t.Errorf("wrong version accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[1] = 0x77
+	if _, _, err := Decode(bad); err == nil {
+		t.Errorf("unknown type accepted")
+	}
+	// Oversized length field.
+	bad = append([]byte(nil), good...)
+	bad[2], bad[3], bad[4], bad[5] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := Decode(bad); err == nil {
+		t.Errorf("huge frame length accepted")
+	}
+	// Ragged report payload.
+	rep, _ := Encode(Message{Type: MsgROAccessReport, ID: 1, Tags: []TagReport{tag(1, 0, 0)}})
+	rep = rep[:len(rep)-3]
+	// Fix up the length field to the truncated size so it decodes far
+	// enough to hit the payload check.
+	rep[5] = byte(len(rep))
+	if _, _, err := Decode(rep); err == nil {
+		t.Errorf("ragged payload accepted")
+	}
+}
+
+func TestFrameReaderAcrossChunks(t *testing.T) {
+	var wire bytes.Buffer
+	var want []uint32
+	for i := uint32(1); i <= 5; i++ {
+		frame, _ := Encode(Message{
+			Type: MsgROAccessReport, ID: i,
+			Tags: []TagReport{tag(uint64(i), time.Duration(i)*time.Second, -500)},
+		})
+		wire.Write(frame)
+		want = append(want, i)
+	}
+	// Read through a 7-byte-chunk reader to exercise reassembly.
+	fr := NewReader(iotest{r: &wire, chunk: 7})
+	var got []uint32
+	for {
+		m, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.ID)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frames: %v, want %v", got, want)
+	}
+}
+
+// iotest dribbles bytes in tiny chunks.
+type iotest struct {
+	r     io.Reader
+	chunk int
+}
+
+func (it iotest) Read(p []byte) (int, error) {
+	if len(p) > it.chunk {
+		p = p[:it.chunk]
+	}
+	return it.r.Read(p)
+}
+
+func TestFrameReaderTruncatedStream(t *testing.T) {
+	frame, _ := Encode(Message{Type: MsgROAccessReport, ID: 1, Tags: []TagReport{tag(1, 0, 0)}})
+	fr := NewReader(bytes.NewReader(frame[:len(frame)-2]))
+	if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated stream: %v", err)
+	}
+}
+
+func TestAdapter(t *testing.T) {
+	var got []event.Observation
+	a := &Adapter{
+		ReaderID: "dock-1",
+		Sink: func(o event.Observation) error {
+			got = append(got, o)
+			return nil
+		},
+		MinRSSI: -700,
+	}
+	strong := tag(1, 2*time.Second, -650)
+	weak := tag(2, 3*time.Second, -720)
+	_ = a.HandleMessage(Message{Type: MsgROAccessReport, Tags: []TagReport{strong, weak}})
+	_ = a.HandleMessage(Message{Type: MsgKeepalive})
+	if len(got) != 1 {
+		t.Fatalf("adapter output: %v", got)
+	}
+	if got[0].Reader != "dock-1" || got[0].At != event.Time(2*time.Second) {
+		t.Errorf("observation: %+v", got[0])
+	}
+	if got[0].Object != strong.EPC.Hex() {
+		t.Errorf("object: %s", got[0].Object)
+	}
+}
+
+func TestAdapterDrainIntoEngineTypes(t *testing.T) {
+	// Frames → adapter → observations, with EPC decoding for type(o).
+	var wire bytes.Buffer
+	for i := uint64(1); i <= 3; i++ {
+		frame, _ := Encode(Message{
+			Type: MsgROAccessReport, ID: uint32(i),
+			Tags: []TagReport{tag(i, time.Duration(i)*time.Second, -500)},
+		})
+		wire.Write(frame)
+	}
+	reg := epc.NewRegistry()
+	reg.MapGIDClass(2, "case")
+	var types []string
+	a := &Adapter{ReaderID: "r1", Sink: func(o event.Observation) error {
+		types = append(types, reg.TypeOf(o.Object))
+		return nil
+	}}
+	if err := a.Drain(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 3 {
+		t.Fatalf("observations: %d", len(types))
+	}
+	for _, ty := range types {
+		if ty != "case" {
+			t.Errorf("type through the stack: %q", ty)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package pipeline runs the paper's Fig. 2 processing architecture
+// concurrently: an observation source, a chain of filtering stages
+// (duplicate elimination, reordering), and the detection engine, each in
+// its own goroutine connected by bounded channels. Backpressure is
+// inherent (channel sends block) and cancellation propagates through a
+// context.
+//
+// The detection engine itself stays single-goroutine — the pipeline
+// serializes all observations into the final sink stage.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/stream"
+)
+
+// Source produces observations by calling emit; it returns when the
+// stream ends or emit fails. Implementations should honor ctx.
+type Source func(ctx context.Context, emit func(event.Observation) error) error
+
+// Stage is a stateful filter: Push transforms/forwards observations to
+// the out function it was constructed with; Flush releases anything still
+// buffered when the stream ends. stream.Dedup and stream.Reorder satisfy
+// this contract.
+type Stage interface {
+	Push(event.Observation) error
+	Flush() error
+}
+
+// StageFunc builds a Stage whose output goes to out; the pipeline wires
+// out to the next stage's channel at Run time.
+type StageFunc func(out func(event.Observation) error) Stage
+
+// Dedup returns a duplicate-elimination stage (paper §3.1 low-level
+// filtering).
+func Dedup(window time.Duration) StageFunc {
+	return func(out func(event.Observation) error) Stage {
+		return stream.NewDedup(window, out)
+	}
+}
+
+// Reorder returns a bounded out-of-order buffering stage.
+func Reorder(slack time.Duration) StageFunc {
+	return func(out func(event.Observation) error) Stage {
+		return stream.NewReorder(slack, out)
+	}
+}
+
+// Config assembles a pipeline run.
+type Config struct {
+	Source Source
+	Stages []StageFunc
+	// Sink consumes the fully filtered, ordered stream — typically
+	// detect.Engine.Ingest or rcep.Engine wrappers.
+	Sink func(event.Observation) error
+	// Buffer is the channel capacity between goroutines (default 256).
+	Buffer int
+}
+
+// Run executes the pipeline until the source ends or any stage fails. It
+// returns the first error (or ctx.Err on cancellation). The sink has been
+// flushed when Run returns nil; callers still Close() their engine to
+// complete pending pseudo events.
+func Run(ctx context.Context, cfg Config) error {
+	if cfg.Source == nil || cfg.Sink == nil {
+		return errors.New("pipeline: Source and Sink are required")
+	}
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = 256
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nStages := len(cfg.Stages)
+	chans := make([]chan event.Observation, nStages+1)
+	for i := range chans {
+		chans[i] = make(chan event.Observation, buf)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	send := func(ch chan<- event.Observation) func(event.Observation) error {
+		return func(o event.Observation) error {
+			select {
+			case ch <- o:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+
+	// Source goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chans[0])
+		if err := cfg.Source(ctx, send(chans[0])); err != nil && !errors.Is(err, context.Canceled) {
+			fail(fmt.Errorf("pipeline: source: %w", err))
+		}
+	}()
+
+	// Stage goroutines.
+	for i, mk := range cfg.Stages {
+		in, out := chans[i], chans[i+1]
+		stage := mk(send(out))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(out)
+			for {
+				select {
+				case o, ok := <-in:
+					if !ok {
+						if err := stage.Flush(); err != nil && !errors.Is(err, context.Canceled) {
+							fail(fmt.Errorf("pipeline: stage %d flush: %w", i, err))
+						}
+						return
+					}
+					if err := stage.Push(o); err != nil {
+						if !errors.Is(err, context.Canceled) {
+							fail(fmt.Errorf("pipeline: stage %d: %w", i, err))
+						}
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Sink goroutine: the single consumer feeding the engine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := chans[nStages]
+		for {
+			select {
+			case o, ok := <-last:
+				if !ok {
+					return
+				}
+				if err := cfg.Sink(o); err != nil {
+					fail(fmt.Errorf("pipeline: sink: %w", err))
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// SliceSource adapts a pre-built observation slice into a Source.
+func SliceSource(obs []event.Observation) Source {
+	return func(ctx context.Context, emit func(event.Observation) error) error {
+		for _, o := range obs {
+			if err := emit(o); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ChanSource adapts a channel into a Source; the stream ends when the
+// channel closes.
+func ChanSource(ch <-chan event.Observation) Source {
+	return func(ctx context.Context, emit func(event.Observation) error) error {
+		for {
+			select {
+			case o, ok := <-ch:
+				if !ok {
+					return nil
+				}
+				if err := emit(o); err != nil {
+					return err
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}

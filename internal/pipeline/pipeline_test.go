@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/sim"
+	"rcep/internal/stream"
+)
+
+func ts(sec float64) event.Time { return event.Time(sec * float64(time.Second)) }
+
+func o(reader, object string, sec float64) event.Observation {
+	return event.Observation{Reader: reader, Object: object, At: ts(sec)}
+}
+
+func TestPipelinePlain(t *testing.T) {
+	var got []event.Observation
+	err := Run(context.Background(), Config{
+		Source: SliceSource([]event.Observation{o("r", "a", 1), o("r", "b", 2)}),
+		Sink: func(obs event.Observation) error {
+			got = append(got, obs)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Object != "a" {
+		t.Fatalf("sink got: %v", got)
+	}
+}
+
+func TestPipelineStagesCompose(t *testing.T) {
+	// Out-of-order source with duplicates → Reorder → Dedup → sink.
+	src := []event.Observation{
+		o("r", "x", 1.0),
+		o("r", "y", 3.0),
+		o("r", "x", 1.2), // duplicate of x@1.0 (within 1s), late
+		o("r", "z", 4.0),
+	}
+	var got []event.Observation
+	err := Run(context.Background(), Config{
+		Source: SliceSource(src),
+		Stages: []StageFunc{Reorder(5 * time.Second), Dedup(time.Second)},
+		Sink: func(obs event.Observation) error {
+			got = append(got, obs)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("expected dedup to drop one: %v", got)
+	}
+	if !stream.IsSorted(got) {
+		t.Fatalf("reorder failed: %v", got)
+	}
+}
+
+func TestPipelineFeedsEngine(t *testing.T) {
+	// Full concurrent path into RCEDA, checked against the simulator's
+	// ground truth.
+	cfg := sim.DefaultConfig()
+	cfg.DupProb = 0.2
+	sc := sim.Generate(cfg)
+
+	b := graph.NewBuilder()
+	expr := &event.TSeq{
+		L: &event.TSeqPlus{X: &event.Prim{
+			Reader: event.Term{Lit: "pack_item_L1"},
+			Object: event.Term{Var: "o1"},
+			At:     event.Term{Var: "t1"},
+		}, Lo: 100 * time.Millisecond, Hi: time.Second},
+		R: &event.Prim{
+			Reader: event.Term{Lit: "pack_case_L1"},
+			Object: event.Term{Var: "o2"},
+			At:     event.Term{Var: "t2"},
+		},
+		Lo: 10 * time.Second, Hi: 20 * time.Second,
+	}
+	if _, err := b.AddRule(1, expr); err != nil {
+		t.Fatal(err)
+	}
+	var detections int
+	eng, err := detect.New(detect.Config{
+		Graph:    b.Finalize(),
+		OnDetect: func(int, *event.Instance) { detections++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(context.Background(), Config{
+		Source: SliceSource(sc.Observations),
+		Stages: []StageFunc{Dedup(time.Second)},
+		Sink:   eng.Ingest,
+		Buffer: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if detections != cfg.CasesPerLine {
+		t.Fatalf("line-1 containments: %d, want %d", detections, cfg.CasesPerLine)
+	}
+}
+
+func TestPipelineSinkErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("sink boom")
+	err := Run(context.Background(), Config{
+		Source: SliceSource([]event.Observation{o("r", "a", 1), o("r", "b", 2)}),
+		Sink:   func(event.Observation) error { return boom },
+	})
+	if err == nil || !strings.Contains(err.Error(), "sink boom") {
+		t.Fatalf("sink error lost: %v", err)
+	}
+}
+
+func TestPipelineSourceErrorPropagates(t *testing.T) {
+	err := Run(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			_ = emit(o("r", "a", 1))
+			return fmt.Errorf("source boom")
+		},
+		Sink: func(event.Observation) error { return nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "source boom") {
+		t.Fatalf("source error lost: %v", err)
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var delivered atomic.Int64
+	done := make(chan error, 1)
+	ch := make(chan event.Observation)
+	go func() {
+		done <- Run(ctx, Config{
+			Source: ChanSource(ch),
+			Sink: func(event.Observation) error {
+				delivered.Add(1)
+				return nil
+			},
+		})
+	}()
+	ch <- o("r", "a", 1)
+	cancel()
+	select {
+	case err := <-done:
+		// Cancellation may or may not surface as an error depending on
+		// where it lands; it must return promptly either way.
+		_ = err
+	case <-time.After(5 * time.Second):
+		t.Fatalf("pipeline did not stop on cancellation")
+	}
+}
+
+func TestPipelineRequiresSourceAndSink(t *testing.T) {
+	if err := Run(context.Background(), Config{}); err == nil {
+		t.Fatalf("empty config accepted")
+	}
+}
+
+func TestChanSourceEndsOnClose(t *testing.T) {
+	ch := make(chan event.Observation, 2)
+	ch <- o("r", "a", 1)
+	close(ch)
+	n := 0
+	err := Run(context.Background(), Config{
+		Source: ChanSource(ch),
+		Sink:   func(event.Observation) error { n++; return nil },
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("chan source: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package rules implements the paper's declarative RFID rule language (§3):
+//
+//	DEFINE event_name = event_specification
+//	CREATE RULE rule_id, rule_name
+//	ON event
+//	IF condition
+//	DO action1; action2; ...; actionN
+//
+// Events are complex event expressions over observation(r, o, t) patterns
+// with group()/type() predicates and the constructors OR/∨, AND/∧, NOT/¬,
+// SEQ (infix ';'), TSEQ, SEQ+, TSEQ+ and WITHIN. Conditions are boolean
+// combinations of comparisons, user-defined functions and EXISTS(SELECT)
+// queries; actions are mini-SQL statements (including BULK INSERT) or
+// user-defined procedure calls.
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"rcep/internal/core/event"
+	"rcep/internal/sqlmini"
+)
+
+// Rule is one parsed CREATE RULE statement.
+type Rule struct {
+	ID      string // e.g. "r4"
+	Name    string // e.g. "containment rule"
+	Event   event.Expr
+	Cond    sqlmini.Expr // nil means IF true
+	Actions []Action
+}
+
+// String renders a compact summary.
+func (r *Rule) String() string {
+	return fmt.Sprintf("RULE %s (%s) ON %s [%d action(s)]", r.ID, r.Name, r.Event, len(r.Actions))
+}
+
+// Action is one entry of a rule's DO list.
+type Action interface {
+	fmt.Stringer
+	isAction()
+}
+
+// SQLAction executes a mini-SQL statement with the event bindings as named
+// parameters.
+type SQLAction struct {
+	Stmt sqlmini.Stmt
+	Text string // original source, for diagnostics
+}
+
+func (*SQLAction) isAction() {}
+
+// String implements fmt.Stringer.
+func (a *SQLAction) String() string { return strings.TrimSpace(a.Text) }
+
+// ProcAction invokes a registered user procedure, e.g. send_alarm(o4).
+type ProcAction struct {
+	Name string
+	Args []sqlmini.Expr
+	Text string
+}
+
+func (*ProcAction) isAction() {}
+
+// String implements fmt.Stringer.
+func (a *ProcAction) String() string { return strings.TrimSpace(a.Text) }
+
+// RuleSet is a parsed script: named event definitions plus rules, in
+// source order.
+type RuleSet struct {
+	Defs  map[string]event.Expr // DEFINE aliases
+	Rules []*Rule
+}
+
+// Rule returns the rule with the given ID.
+func (rs *RuleSet) Rule(id string) (*Rule, bool) {
+	for _, r := range rs.Rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,193 @@
+package rules
+
+import (
+	"fmt"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/sqlmini"
+	"rcep/internal/store"
+)
+
+// ActionContext is handed to user procedures when their rule fires.
+type ActionContext struct {
+	RuleID   string
+	RuleName string
+	Inst     *event.Instance
+	Store    *store.Store
+}
+
+// Proc is a user-defined procedure invocable from a rule's DO list, e.g.
+// send_alarm.
+type Proc func(ctx ActionContext, args []event.Value) error
+
+// Procs is a registry of user procedures by (case-sensitive) name.
+type Procs map[string]Proc
+
+// Firing records one executed rule for auditing/tests.
+type Firing struct {
+	RuleID string
+	Inst   *event.Instance
+}
+
+// Executor evaluates rule conditions and runs actions when the detection
+// engine reports an event occurrence. It implements the OnDetect callback
+// of detect.Config via Dispatch.
+type Executor struct {
+	rs    *RuleSet
+	store *store.Store
+	procs Procs
+	funcs sqlmini.Funcs
+
+	byIndex []*Rule // graph rule index → rule
+
+	// OnError receives action/condition errors; default collects them.
+	OnError func(rule *Rule, err error)
+	errs    []error
+	firings []Firing
+
+	// TraceFirings keeps the Firing log (on by default; disable for
+	// long benchmark runs).
+	TraceFirings bool
+
+	// disabled holds rule IDs whose firing is suppressed at dispatch
+	// time. Detection still happens (the graph is shared), only the
+	// condition/action stage is skipped.
+	disabled map[string]bool
+}
+
+// NewExecutor wires a parsed rule set to a data store, user procedures and
+// user condition functions (any of which may be nil).
+func NewExecutor(rs *RuleSet, st *store.Store, procs Procs, funcs sqlmini.Funcs) *Executor {
+	x := &Executor{rs: rs, store: st, procs: procs, funcs: funcs, TraceFirings: true}
+	x.OnError = func(rule *Rule, err error) {
+		x.errs = append(x.errs, fmt.Errorf("rule %s: %w", rule.ID, err))
+	}
+	return x
+}
+
+// Bind registers every rule's event with the graph builder. Rule i in the
+// set gets graph rule ID i.
+func (x *Executor) Bind(b *graph.Builder) error {
+	for i, r := range x.rs.Rules {
+		if _, err := b.AddRule(i, r.Event); err != nil {
+			return fmt.Errorf("rule %s: %w", r.ID, err)
+		}
+		x.byIndex = append(x.byIndex, r)
+	}
+	return nil
+}
+
+// Rules returns the bound rule set.
+func (x *Executor) Rules() *RuleSet { return x.rs }
+
+// Errors returns the errors collected by the default OnError handler.
+func (x *Executor) Errors() []error { return x.errs }
+
+// Firings returns the audit log of fired rules.
+func (x *Executor) Firings() []Firing { return x.firings }
+
+// SetEnabled enables or disables a rule at runtime by its script ID. A
+// disabled rule's event is still detected (the graph is shared with other
+// rules) but its condition and actions are skipped. It reports whether
+// the rule exists.
+func (x *Executor) SetEnabled(ruleID string, enabled bool) bool {
+	if _, ok := x.rs.Rule(ruleID); !ok {
+		return false
+	}
+	if x.disabled == nil {
+		x.disabled = map[string]bool{}
+	}
+	if enabled {
+		delete(x.disabled, ruleID)
+	} else {
+		x.disabled[ruleID] = true
+	}
+	return true
+}
+
+// Dispatch is the detect.Config.OnDetect callback: evaluate the rule's IF
+// condition against the instance bindings and, when satisfied, run the DO
+// actions in order.
+func (x *Executor) Dispatch(ruleIdx int, inst *event.Instance) {
+	if ruleIdx < 0 || ruleIdx >= len(x.byIndex) {
+		return
+	}
+	r := x.byIndex[ruleIdx]
+	if x.disabled[r.ID] {
+		return
+	}
+	binds := withImplicitBindings(inst)
+	if r.Cond != nil {
+		v, err := sqlmini.EvalExpr(x.store, r.Cond, binds, x.funcs)
+		if err != nil {
+			x.OnError(r, fmt.Errorf("condition: %w", err))
+			return
+		}
+		if !sqlmini.Truthy(v) {
+			return
+		}
+	}
+	if x.TraceFirings {
+		x.firings = append(x.firings, Firing{RuleID: r.ID, Inst: inst})
+	}
+	for _, a := range r.Actions {
+		if err := x.runAction(r, a, inst, binds); err != nil {
+			x.OnError(r, err)
+			// Subsequent actions still run: the paper's actions are an
+			// ordered list of independent statements.
+		}
+	}
+}
+
+// withImplicitBindings extends the instance bindings with the detection
+// span: event_begin and event_end (timestamps) and event_interval
+// (seconds, float). User variables with the same names win.
+func withImplicitBindings(inst *event.Instance) event.Bindings {
+	binds := inst.Binds.Clone()
+	if binds == nil {
+		binds = event.Bindings{}
+	}
+	for k, v := range map[string]event.Value{
+		"event_begin":    event.TimeValue(inst.Begin),
+		"event_end":      event.TimeValue(inst.End),
+		"event_interval": event.DurationValue(inst.Interval()),
+	} {
+		if _, taken := binds[k]; !taken {
+			binds[k] = v
+		}
+	}
+	return binds
+}
+
+func (x *Executor) runAction(r *Rule, a Action, inst *event.Instance, binds event.Bindings) error {
+	switch act := a.(type) {
+	case *SQLAction:
+		if x.store == nil {
+			return fmt.Errorf("action %q needs a data store", act)
+		}
+		if _, err := sqlmini.ExecStmt(x.store, act.Stmt, binds); err != nil {
+			return fmt.Errorf("action %q: %w", act, err)
+		}
+		return nil
+	case *ProcAction:
+		proc, ok := x.procs[act.Name]
+		if !ok {
+			return fmt.Errorf("action %q: no such procedure %s", act, act.Name)
+		}
+		args := make([]event.Value, len(act.Args))
+		for i, ae := range act.Args {
+			v, err := sqlmini.EvalExpr(x.store, ae, binds, x.funcs)
+			if err != nil {
+				return fmt.Errorf("action %q: argument %d: %w", act, i+1, err)
+			}
+			args[i] = v
+		}
+		ctx := ActionContext{RuleID: r.ID, RuleName: r.Name, Inst: inst, Store: x.store}
+		if err := proc(ctx, args); err != nil {
+			return fmt.Errorf("action %q: %w", act, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown action type %T", a)
+}

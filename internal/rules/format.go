@@ -1,0 +1,50 @@
+package rules
+
+import (
+	"strings"
+
+	"rcep/internal/sqlmini"
+)
+
+// Format renders a rule set back into canonical script text. The output
+// re-parses to an equivalent rule set (round-trip tested): event
+// expressions print through their paper-syntax Stringers, conditions and
+// SQL actions through the mini-SQL formatter. DEFINE aliases are not
+// reconstructed (they were expanded at parse time), so the output is the
+// fully expanded form.
+func Format(rs *RuleSet) string {
+	var sb strings.Builder
+	for i, r := range rs.Rules {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString("CREATE RULE " + r.ID + ", '" + strings.ReplaceAll(r.Name, "'", "''") + "'\n")
+		sb.WriteString("ON " + r.Event.String() + "\n")
+		if r.Cond == nil {
+			sb.WriteString("IF true\n")
+		} else {
+			sb.WriteString("IF " + sqlmini.FormatExpr(r.Cond) + "\n")
+		}
+		sb.WriteString("DO ")
+		for j, a := range r.Actions {
+			if j > 0 {
+				sb.WriteString(";\n   ")
+			}
+			switch act := a.(type) {
+			case *SQLAction:
+				sb.WriteString(sqlmini.FormatStmt(act.Stmt))
+			case *ProcAction:
+				sb.WriteString(act.Name + "(")
+				for k, arg := range act.Args {
+					if k > 0 {
+						sb.WriteString(", ")
+					}
+					sb.WriteString(sqlmini.FormatExpr(arg))
+				}
+				sb.WriteString(")")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

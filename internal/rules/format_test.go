@@ -1,0 +1,80 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"rcep/internal/sqlmini"
+)
+
+// TestFormatRoundTrip: parse → format → parse must be a fixed point
+// (identical event strings, condition text, and action text).
+func TestFormatRoundTrip(t *testing.T) {
+	scripts := []string{
+		paperRules,
+		`
+CREATE RULE q, complex conditions
+ON WITHIN(ALL(observation('a', x, tx), observation('b', y, ty), observation('c', z, tz)), 10sec)
+IF x != 'skip' AND (LENGTH(x) > 2 OR x IN ('p', 'q')) AND NOT EXISTS (SELECT * FROM ALERTS WHERE object_epc = x)
+DO INSERT INTO ALERTS (rule_name, object_epc, at) VALUES ('q', x, tx);
+   DELETE FROM INVENTORY WHERE object_epc = x AND tstart < tx;
+   notify(x, LENGTH(x) + 1)
+`,
+		`
+CREATE RULE s, sequences
+ON TSEQ(TSEQ+(observation('r1', o1, t1), 0.1sec, 1sec); observation('r2', o2, t2), 10sec, 20sec)
+IF event_interval < 100
+DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, 'UC')
+`,
+	}
+	for _, src := range scripts {
+		rs1, err := ParseScript(src)
+		if err != nil {
+			t.Fatalf("parse original: %v", err)
+		}
+		formatted := Format(rs1)
+		rs2, err := ParseScript(formatted)
+		if err != nil {
+			t.Fatalf("formatted script does not parse: %v\n%s", err, formatted)
+		}
+		if len(rs2.Rules) != len(rs1.Rules) {
+			t.Fatalf("rule count drift: %d vs %d", len(rs2.Rules), len(rs1.Rules))
+		}
+		// Fixed point: formatting again yields identical text.
+		if again := Format(rs2); again != formatted {
+			t.Fatalf("format not a fixed point:\nfirst:\n%s\nsecond:\n%s", formatted, again)
+		}
+		for i := range rs1.Rules {
+			a, b := rs1.Rules[i], rs2.Rules[i]
+			if a.Event.String() != b.Event.String() {
+				t.Errorf("rule %s event drift:\n%s\n%s", a.ID, a.Event, b.Event)
+			}
+			if (a.Cond == nil) != (b.Cond == nil) {
+				t.Errorf("rule %s condition presence drift", a.ID)
+			}
+			if a.Cond != nil && sqlmini.FormatExpr(a.Cond) != sqlmini.FormatExpr(b.Cond) {
+				t.Errorf("rule %s condition drift", a.ID)
+			}
+			if len(a.Actions) != len(b.Actions) {
+				t.Errorf("rule %s action count drift", a.ID)
+			}
+		}
+	}
+}
+
+func TestFormatContainsCanonicalPieces(t *testing.T) {
+	rs := mustParse(t, paperRules)
+	out := Format(rs)
+	for _, frag := range []string{
+		"CREATE RULE r1, 'duplicate detection rule'",
+		"WITHIN(",
+		"TSEQ(TSEQ+(",
+		"BULK INSERT INTO OBJECTCONTAINMENT",
+		"IF true",
+		"send_alarm(o4)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package rules
+
+import "testing"
+
+// FuzzParseScript: no input may panic the rule parser. The seed corpus
+// covers every construct; `go test -fuzz FuzzParseScript` explores
+// further.
+func FuzzParseScript(f *testing.F) {
+	seeds := append([]string{}, seedScripts...)
+	seeds = append(seeds,
+		`DEFINE E = observation('r', _, _)`,
+		`CREATE RULE a, n ON ALL(observation(a,b,c), observation(d,e,f), observation(g,h,i)) IF true DO p()`,
+		`CREATE RULE a, n ON WITHIN(E1 ; E2 ; E3, 5sec) IF x IN (SELECT k FROM t) DO UPDATE t SET a = 1`,
+		`CREATE RULE a, n ON TSEQ+(observation(r,o,t), 1sec, 0.5sec) IF true DO p()`, // bad bounds
+	)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		// A successful parse yields internally consistent rules.
+		for _, r := range rs.Rules {
+			if r.ID == "" {
+				t.Fatalf("parsed rule without ID: %+v", r)
+			}
+			if r.Event == nil {
+				t.Fatalf("parsed rule without event: %+v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package rules
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Pseudo-fuzz: the parser must never panic, whatever garbage it gets. We
+// mutate valid scripts (truncation, splicing, token deletion, character
+// flips) and require graceful errors or success — nothing else.
+
+var seedScripts = []string{
+	paperRules,
+	`DEFINE E = observation('r', o, t) CREATE RULE x, n ON E IF true DO f(o)`,
+	`CREATE RULE q, n ON WITHIN(ALL(observation(a,b,c), observation(d,e,f)), 5sec) IF x > 1 AND EXISTS (SELECT * FROM T WHERE k = b) DO INSERT INTO T VALUES (b)`,
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	rng := rand.New(rand.NewSource(20060329)) // EDBT'06 deadline-ish seed
+	mutations := 0
+	for _, seed := range seedScripts {
+		for i := 0; i < 400; i++ {
+			s := mutate(rng, seed)
+			mutations++
+			_, _ = ParseScript(s) // error or not — just no panic
+		}
+	}
+	if mutations == 0 {
+		t.Fatal("no mutations exercised")
+	}
+}
+
+func mutate(rng *rand.Rand, s string) string {
+	b := []byte(s)
+	switch rng.Intn(5) {
+	case 0: // truncate
+		if len(b) > 0 {
+			b = b[:rng.Intn(len(b))]
+		}
+	case 1: // delete a span
+		if len(b) > 2 {
+			i := rng.Intn(len(b) - 1)
+			j := i + 1 + rng.Intn(len(b)-i-1)
+			b = append(b[:i], b[j:]...)
+		}
+	case 2: // flip characters
+		for k := 0; k < 3 && len(b) > 0; k++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(96) + 32)
+		}
+	case 3: // duplicate a span
+		if len(b) > 2 {
+			i := rng.Intn(len(b) - 1)
+			j := i + 1 + rng.Intn(len(b)-i-1)
+			b = append(b[:j:j], append(append([]byte{}, b[i:j]...), b[j:]...)...)
+		}
+	case 4: // splice in noise tokens
+		noise := []string{"(", ")", ";", ",", "SEQ", "TSEQ+", "WITHIN", "''", "0.1sec", "¬", "∧"}
+		i := rng.Intn(len(b) + 1)
+		n := noise[rng.Intn(len(noise))]
+		b = append(b[:i:i], append([]byte(" "+n+" "), b[i:]...)...)
+	}
+	return string(b)
+}
+
+func TestParserHandlesDeeplyNestedInput(t *testing.T) {
+	// Deep nesting must not blow the stack at sane depths.
+	depth := 200
+	src := "CREATE RULE d, deep ON " +
+		strings.Repeat("WITHIN(", depth) +
+		"observation(r, o, t)" +
+		strings.Repeat(", 5sec)", depth) +
+		" IF true DO f()"
+	if _, err := ParseScript(src); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}

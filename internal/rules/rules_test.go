@@ -1,0 +1,497 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/sqlmini"
+	"rcep/internal/store"
+)
+
+func ts(sec float64) event.Time { return event.Time(sec * float64(time.Second)) }
+
+func mustParse(t *testing.T, src string) *RuleSet {
+	t.Helper()
+	rs, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v\nsource:\n%s", err, src)
+	}
+	return rs
+}
+
+// The paper's five rules, verbatim modulo ASCII syntax.
+const paperRules = `
+-- Rule 1: duplicate detection
+CREATE RULE r1, duplicate detection rule
+ON WITHIN(observation(r, o, t1); observation(r, o, t2), 5sec)
+IF true
+DO send_duplicate_msg(r, o, t1)
+
+-- Rule 2: infield filtering
+CREATE RULE r2, infield filtering
+ON WITHIN(NOT observation(r, o, t1); observation(r, o, t2), 30sec)
+IF true
+DO INSERT INTO OBSERVATION VALUES (r, o, t2)
+
+-- Rule 3: location change
+CREATE RULE r3, location change rule
+ON observation(r, o, t)
+IF true
+DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC';
+   INSERT INTO OBJECTLOCATION VALUES (o, r, t, 'UC')
+
+-- Rule 4: containment aggregation
+DEFINE E1 = observation('r1', o1, t1)
+DEFINE E2 = observation('r2', o2, t2)
+CREATE RULE r4, containment rule
+ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+IF true
+DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, 'UC')
+
+-- Rule 5: asset monitoring
+DEFINE E4 = observation('r4', o4, t4), type(o4) = 'laptop'
+DEFINE E5 = observation('r4', o5, t5), type(o5) = 'superuser'
+CREATE RULE r5, asset monitoring rule
+ON WITHIN(E4 AND NOT E5, 5sec)
+IF true
+DO send_alarm(o4)
+`
+
+func TestParsePaperRules(t *testing.T) {
+	rs := mustParse(t, paperRules)
+	if len(rs.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rs.Rules))
+	}
+	if len(rs.Defs) != 4 {
+		t.Fatalf("parsed %d defines, want 4", len(rs.Defs))
+	}
+
+	r1, _ := rs.Rule("r1")
+	if r1.Name != "duplicate detection rule" {
+		t.Errorf("r1 name: %q", r1.Name)
+	}
+	w, ok := r1.Event.(*event.Within)
+	if !ok || w.Max != 5*time.Second {
+		t.Fatalf("r1 event: %v", r1.Event)
+	}
+	if _, ok := w.X.(*event.Seq); !ok {
+		t.Errorf("r1 inner: %T", w.X)
+	}
+	if len(r1.Actions) != 1 {
+		t.Fatalf("r1 actions: %d", len(r1.Actions))
+	}
+	if p, ok := r1.Actions[0].(*ProcAction); !ok || p.Name != "send_duplicate_msg" || len(p.Args) != 3 {
+		t.Errorf("r1 action: %v", r1.Actions[0])
+	}
+
+	r3, _ := rs.Rule("r3")
+	if len(r3.Actions) != 2 {
+		t.Fatalf("r3 actions: %d", len(r3.Actions))
+	}
+	if _, ok := r3.Actions[0].(*SQLAction); !ok {
+		t.Errorf("r3 action 0: %T", r3.Actions[0])
+	}
+
+	r4, _ := rs.Rule("r4")
+	tseq, ok := r4.Event.(*event.TSeq)
+	if !ok || tseq.Lo != 10*time.Second || tseq.Hi != 20*time.Second {
+		t.Fatalf("r4 event: %v", r4.Event)
+	}
+	tsp, ok := tseq.L.(*event.TSeqPlus)
+	if !ok || tsp.Lo != 100*time.Millisecond || tsp.Hi != time.Second {
+		t.Fatalf("r4 initiator: %v", tseq.L)
+	}
+	if a, ok := r4.Actions[0].(*SQLAction); !ok {
+		t.Errorf("r4 action: %T", r4.Actions[0])
+	} else if ins, ok := a.Stmt.(*sqlmini.Insert); !ok || !ins.Bulk {
+		t.Errorf("r4 should be a BULK INSERT: %v", a.Stmt)
+	}
+
+	r5, _ := rs.Rule("r5")
+	w5, ok := r5.Event.(*event.Within)
+	if !ok {
+		t.Fatalf("r5 event: %T", r5.Event)
+	}
+	and, ok := w5.X.(*event.And)
+	if !ok {
+		t.Fatalf("r5 inner: %T", w5.X)
+	}
+	if _, ok := and.R.(*event.Not); !ok {
+		t.Errorf("r5 right conjunct should be NOT: %T", and.R)
+	}
+	prim, ok := and.L.(*event.Prim)
+	if !ok || len(prim.Preds) != 1 || prim.Preds[0].Fn != "type" || prim.Preds[0].Val != "laptop" {
+		t.Errorf("r5 laptop pattern: %v", and.L)
+	}
+}
+
+func TestParseUnicodeOperators(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE u1, unicode
+ON WITHIN(observation('r4', o4, t4) ∧ ¬observation('r4', o5, t5), 5sec)
+IF true
+DO noop()
+`)
+	w := rs.Rules[0].Event.(*event.Within)
+	and, ok := w.X.(*event.And)
+	if !ok {
+		t.Fatalf("unicode AND not parsed: %T", w.X)
+	}
+	if _, ok := and.R.(*event.Not); !ok {
+		t.Errorf("unicode NOT not parsed: %T", and.R)
+	}
+}
+
+func TestParseAllAnySugar(t *testing.T) {
+	// Paper §2.2: ALL(E1, ..., En) ≡ E1 ∧ ... ∧ En; ANY is the OR dual.
+	rs := mustParse(t, `
+CREATE RULE a1, all sugar
+ON WITHIN(ALL(observation('r1', o1, t1), observation('r2', o2, t2), observation('r3', o3, t3)), 10sec)
+IF true
+DO noop()
+
+CREATE RULE a2, any sugar
+ON ANY(observation('r1', o, t), observation('r2', o, t))
+IF true
+DO noop()
+`)
+	w := rs.Rules[0].Event.(*event.Within)
+	outer, ok := w.X.(*event.And)
+	if !ok {
+		t.Fatalf("ALL should desugar to AND: %T", w.X)
+	}
+	if _, ok := outer.L.(*event.And); !ok {
+		t.Errorf("ALL of 3 should nest: %T", outer.L)
+	}
+	if _, ok := rs.Rules[1].Event.(*event.Or); !ok {
+		t.Errorf("ANY should desugar to OR: %T", rs.Rules[1].Event)
+	}
+	// Single-constituent ALL is rejected.
+	if _, err := ParseScript(`CREATE RULE b, bad ON ALL(observation(r,o,t)) IF true DO noop()`); err == nil {
+		t.Errorf("single-arm ALL accepted")
+	}
+}
+
+func TestParseGroupPredicate(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE g1, grouped
+ON observation(r, o, t), group(r) = 'g1', type(o) = 'case'
+IF true
+DO noop()
+`)
+	p := rs.Rules[0].Event.(*event.Prim)
+	if len(p.Preds) != 2 || p.Preds[0].Fn != "group" || p.Preds[1].Fn != "type" {
+		t.Fatalf("preds: %v", p.Preds)
+	}
+}
+
+func TestPredicateVsConstructorCommaAmbiguity(t *testing.T) {
+	// The observation's trailing comma inside TSEQ must be read as the
+	// constructor's duration separator, not a predicate.
+	rs := mustParse(t, `
+CREATE RULE a1, ambiguous
+ON TSEQ(observation('r1', o1, t1); observation('r2', o2, t2), 10sec, 20sec)
+IF true
+DO noop()
+`)
+	tseq, ok := rs.Rules[0].Event.(*event.TSeq)
+	if !ok {
+		t.Fatalf("event: %T", rs.Rules[0].Event)
+	}
+	if tseq.Lo != 10*time.Second || tseq.Hi != 20*time.Second {
+		t.Errorf("bounds: %v %v", tseq.Lo, tseq.Hi)
+	}
+	if p := tseq.R.(*event.Prim); len(p.Preds) != 0 {
+		t.Errorf("spurious predicates: %v", p.Preds)
+	}
+}
+
+func TestParseAnonymousTerm(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE an1, anon
+ON observation('r1', _, _)
+IF true
+DO noop()
+`)
+	p := rs.Rules[0].Event.(*event.Prim)
+	if p.Object.IsVar() || p.Object.Lit != "" {
+		t.Errorf("anonymous object: %+v", p.Object)
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE c1, with condition
+ON observation(r, o, t)
+IF o != 'skip' AND is_hot(o)
+DO noop()
+
+CREATE RULE c2, trivially true
+ON observation(r, o, t)
+IF true
+DO noop()
+`)
+	if rs.Rules[0].Cond == nil {
+		t.Errorf("c1 should keep its condition")
+	}
+	if rs.Rules[1].Cond != nil {
+		t.Errorf("IF true should compile to a nil condition")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no-on":          `CREATE RULE x, name IF true DO a()`,
+		"undefined-ref":  `CREATE RULE x, n ON NoSuchEvent IF true DO a()`,
+		"bad-fn":         `CREATE RULE x, n ON observation(r,o,t), size(o) = '3' IF true DO a()`,
+		"dup-rule":       `CREATE RULE x, n ON observation(r,o,t) IF true DO a() CREATE RULE x, n2 ON observation(r,o,t) IF true DO a()`,
+		"dup-define":     `DEFINE E1 = observation(r,o,t) DEFINE E1 = observation(r,o,t2)`,
+		"bad-duration":   `CREATE RULE x, n ON WITHIN(observation(r,o,t), 5parsec) IF true DO a()`,
+		"missing-do":     `CREATE RULE x, n ON observation(r,o,t) IF true`,
+		"invalid-event":  `CREATE RULE x, n ON NOT observation(r,o,t) IF true DO a()` + "\ngarbage",
+		"stray-token":    `DEFINE E1 = observation(r,o,t) )`,
+		"number-as-term": `CREATE RULE x, n ON observation(123, o, t) IF true DO a()`,
+	}
+	for name, src := range bad {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("%s: ParseScript should fail:\n%s", name, src)
+		}
+	}
+}
+
+func TestExecutorDispatch(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE loc, location change rule
+ON observation(r, o, t)
+IF true
+DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC';
+   INSERT INTO OBJECTLOCATION VALUES (o, r, t, 'UC')
+`)
+	st := store.OpenRFID()
+	x := NewExecutor(rs, st, nil, nil)
+	b := graph.NewBuilder()
+	if err := x.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	inst := &event.Instance{Begin: ts(1), End: ts(1), Binds: event.Bindings{
+		"r": event.StringValue("dock1"),
+		"o": event.StringValue("pallet9"),
+		"t": event.TimeValue(ts(1)),
+	}}
+	x.Dispatch(0, inst)
+	inst2 := &event.Instance{Begin: ts(5), End: ts(5), Binds: event.Bindings{
+		"r": event.StringValue("dock2"),
+		"o": event.StringValue("pallet9"),
+		"t": event.TimeValue(ts(5)),
+	}}
+	x.Dispatch(0, inst2)
+	if errs := x.Errors(); len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if got := len(x.Firings()); got != 2 {
+		t.Fatalf("firings: %d", got)
+	}
+	if loc, ok := store.LocationAt(st, "pallet9", ts(3)); !ok || loc != "dock1" {
+		t.Errorf("location at 3s: %v %v", loc, ok)
+	}
+	if loc, ok := store.LocationAt(st, "pallet9", ts(7)); !ok || loc != "dock2" {
+		t.Errorf("location at 7s: %v %v", loc, ok)
+	}
+}
+
+func TestExecutorConditionsAndFuncs(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE hot, hot items only
+ON observation(r, o, t)
+IF is_hot(o)
+DO log_item(o)
+`)
+	var logged []string
+	procs := Procs{
+		"log_item": func(_ ActionContext, args []event.Value) error {
+			logged = append(logged, args[0].Str())
+			return nil
+		},
+	}
+	funcs := sqlmini.Funcs{
+		"is_hot": func(args []event.Value) (event.Value, error) {
+			return event.BoolValue(strings.HasPrefix(args[0].Str(), "HOT")), nil
+		},
+	}
+	x := NewExecutor(rs, nil, procs, funcs)
+	b := graph.NewBuilder()
+	if err := x.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	fire := func(o string) {
+		x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue(o)}})
+	}
+	fire("HOT-1")
+	fire("cold-2")
+	fire("HOT-3")
+	if len(logged) != 2 || logged[0] != "HOT-1" || logged[1] != "HOT-3" {
+		t.Fatalf("logged: %v", logged)
+	}
+	if len(x.Errors()) != 0 {
+		t.Fatalf("errors: %v", x.Errors())
+	}
+}
+
+func TestExecutorErrorHandling(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE bad, bad actions
+ON observation(r, o, t)
+IF true
+DO no_such_proc(o); INSERT INTO NOSUCHTABLE VALUES (o)
+`)
+	x := NewExecutor(rs, store.New(), nil, nil)
+	b := graph.NewBuilder()
+	if err := x.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("x")}})
+	errs := x.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors (both actions fail independently), got %v", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), "rule bad") {
+			t.Errorf("error lacks rule context: %v", e)
+		}
+	}
+}
+
+func TestImplicitEventBindings(t *testing.T) {
+	// Rules can reference the detection span: event_begin, event_end
+	// (timestamps) and event_interval (seconds).
+	rs := mustParse(t, `
+CREATE RULE span, long events only
+ON observation(r, o, t)
+IF event_interval >= 0
+DO record(event_begin, event_end, event_interval)
+`)
+	var got []event.Value
+	x := NewExecutor(rs, nil, Procs{
+		"record": func(_ ActionContext, args []event.Value) error {
+			got = args
+			return nil
+		},
+	}, nil)
+	b := graph.NewBuilder()
+	if err := x.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	x.Dispatch(0, &event.Instance{Begin: ts(2), End: ts(5), Binds: event.Bindings{"o": event.StringValue("x")}})
+	if len(x.Errors()) != 0 {
+		t.Fatalf("errors: %v", x.Errors())
+	}
+	if len(got) != 3 || got[0].Time() != ts(2) || got[1].Time() != ts(5) || got[2].Float() != 3 {
+		t.Fatalf("implicit bindings: %v", got)
+	}
+	// User variables shadow the implicit names.
+	rs2 := mustParse(t, `
+CREATE RULE shadow, shadowing
+ON observation(r, event_begin, t)
+IF true
+DO record(event_begin)
+`)
+	var got2 []event.Value
+	x2 := NewExecutor(rs2, nil, Procs{
+		"record": func(_ ActionContext, args []event.Value) error {
+			got2 = args
+			return nil
+		},
+	}, nil)
+	b2 := graph.NewBuilder()
+	if err := x2.Bind(b2); err != nil {
+		t.Fatal(err)
+	}
+	x2.Dispatch(0, &event.Instance{Begin: ts(2), End: ts(2),
+		Binds: event.Bindings{"event_begin": event.StringValue("obj-7")}})
+	if len(got2) != 1 || got2[0].Str() != "obj-7" {
+		t.Fatalf("shadowing: %v", got2)
+	}
+}
+
+func TestExecutorBindInvalidRule(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE inv, invalid
+ON SEQ+(observation(r, o, t))
+IF true
+DO noop()
+`)
+	x := NewExecutor(rs, nil, nil, nil)
+	b := graph.NewBuilder()
+	err := x.Bind(b)
+	if err == nil {
+		t.Fatalf("binding an invalid (pull) rule must fail")
+	}
+	if !strings.Contains(err.Error(), "rule inv") {
+		t.Errorf("error lacks rule ID: %v", err)
+	}
+}
+
+func TestExistsConditionAgainstStore(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE gated, gated by store
+ON observation(r, o, t)
+IF EXISTS (SELECT * FROM OBJECTLOCATION WHERE object_epc = o)
+DO mark(o)
+`)
+	st := store.OpenRFID()
+	loc, _ := st.Table(store.TableLocation)
+	_ = loc.Insert([]event.Value{
+		event.StringValue("known"), event.StringValue("w1"), event.TimeValue(0), event.TimeValue(store.UC),
+	})
+	var marked []string
+	x := NewExecutor(rs, st, Procs{
+		"mark": func(_ ActionContext, args []event.Value) error {
+			marked = append(marked, args[0].Str())
+			return nil
+		},
+	}, nil)
+	b := graph.NewBuilder()
+	if err := x.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("known")}})
+	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("unknown")}})
+	if len(marked) != 1 || marked[0] != "known" {
+		t.Fatalf("marked: %v", marked)
+	}
+}
+
+func TestActionTextRoundTrip(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE r, txt
+ON observation(r, o, t)
+IF true
+DO INSERT INTO OBSERVATION VALUES (r, o, t); send_alarm(o)
+`)
+	a0 := rs.Rules[0].Actions[0].String()
+	if !strings.Contains(a0, "INSERT INTO OBSERVATION") {
+		t.Errorf("action text: %q", a0)
+	}
+	a1 := rs.Rules[0].Actions[1].String()
+	if !strings.Contains(a1, "send_alarm") {
+		t.Errorf("proc text: %q", a1)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	rs := mustParse(t, `
+CREATE RULE r9, pretty
+ON observation('r1', o, t)
+IF true
+DO noop()
+`)
+	s := rs.Rules[0].String()
+	for _, frag := range []string{"r9", "pretty", "observation"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rule string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package sqlmini
+
+import (
+	"fmt"
+	"testing"
+
+	"rcep/internal/core/event"
+	"rcep/internal/store"
+)
+
+func benchDB(b *testing.B, rows int, indexed bool) *store.Store {
+	b.Helper()
+	s := store.New()
+	if _, err := Exec(s, `CREATE TABLE t (k STRING, v INT, f FLOAT)`, nil); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := s.Table("t")
+	for i := 0; i < rows; i++ {
+		err := tbl.Insert([]event.Value{
+			event.StringValue(fmt.Sprintf("k%d", i%100)),
+			event.IntValue(int64(i)),
+			event.FloatValue(float64(i) / 3),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if indexed {
+		if err := tbl.CreateIndex("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	const q = `SELECT k, COUNT(*) AS n FROM t WHERE v > 10 AND k LIKE 'k%' GROUP BY k HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectScan(b *testing.B) {
+	s := benchDB(b, 10_000, false)
+	stmt, _ := Parse(`SELECT COUNT(*) FROM t WHERE k = 'k42'`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecStmt(s, stmt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectIndexProbe(b *testing.B) {
+	s := benchDB(b, 10_000, true)
+	stmt, _ := Parse(`SELECT COUNT(*) FROM t WHERE k = 'k42'`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecStmt(s, stmt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertWithParams(b *testing.B) {
+	s := benchDB(b, 0, false)
+	stmt, _ := Parse(`INSERT INTO t VALUES (k, v, 1.5)`)
+	params := event.Bindings{"k": event.StringValue("x"), "v": event.IntValue(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecStmt(s, stmt, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateUCPattern(b *testing.B) {
+	// Rule 3's hot path: close the open period, insert a new one.
+	s := store.OpenRFID()
+	upd, _ := Parse(`UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC'`)
+	ins, _ := Parse(`INSERT INTO OBJECTLOCATION VALUES (o, r, t, 'UC')`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params := event.Bindings{
+			"o": event.StringValue(fmt.Sprintf("obj%d", i%50)),
+			"r": event.StringValue("dock"),
+			"t": event.TimeValue(event.Time(i)),
+		}
+		if _, err := ExecStmt(s, upd, params); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ExecStmt(s, ins, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sqlmini
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFormatStmtRoundTrip: parse → format → parse is a fixed point for
+// every statement shape.
+func TestFormatStmtRoundTrip(t *testing.T) {
+	stmts := []string{
+		`CREATE TABLE t (a STRING, b INT, c FLOAT, d BOOL, e TIME)`,
+		`INSERT INTO t VALUES ('x', 1, 2.5, true, 7)`,
+		`INSERT INTO t (a, b) VALUES (o, n + 1)`,
+		`BULK INSERT INTO t VALUES (o1, o2, t2, 'UC')`,
+		`UPDATE t SET a = 'y', b = b + 1 WHERE a = o AND b != 3`,
+		`DELETE FROM t WHERE a LIKE 'x%' OR b IN (1, 2, 3)`,
+		`DELETE FROM t WHERE a NOT IN (SELECT a FROM t WHERE b IS NOT NULL)`,
+		`SELECT DISTINCT a, COUNT(*) AS n FROM t AS x JOIN u AS y ON x.a = y.k WHERE NOT EXISTS (SELECT * FROM t WHERE b = 9) GROUP BY a HAVING COUNT(*) > 1 ORDER BY n DESC, a LIMIT 5`,
+		`SELECT * FROM t WHERE a IS NULL AND -b < 0`,
+		`EXPLAIN SELECT * FROM t WHERE a = 'v'`,
+	}
+	for _, src := range stmts {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		formatted := FormatStmt(s1)
+		s2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted does not parse: %v\nsrc: %s\nout: %s", err, src, formatted)
+		}
+		again := FormatStmt(s2)
+		if formatted != again {
+			t.Errorf("not a fixed point:\n1: %s\n2: %s", formatted, again)
+		}
+		if reflect.TypeOf(s1) != reflect.TypeOf(s2) {
+			t.Errorf("statement type drift: %T vs %T", s1, s2)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rcep/internal/core/event"
+)
+
+// Snapshot persistence: the whole store serializes to a single JSON
+// document so an RFID data store can survive process restarts (the
+// paper's store "preserves the history of the movement and behaviors of
+// objects" — history should not vanish with the process).
+
+type storeJSON struct {
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name    string        `json:"name"`
+	Columns []columnJSON  `json:"columns"`
+	Indexes []string      `json:"indexes,omitempty"`
+	Rows    [][]valueJSON `json:"rows"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// valueJSON is a tagged union for one cell.
+type valueJSON struct {
+	S *string      `json:"s,omitempty"`
+	I *int64       `json:"i,omitempty"`
+	F *float64     `json:"f,omitempty"`
+	B *bool        `json:"b,omitempty"`
+	T *int64       `json:"t,omitempty"` // time in ns; MaxInt64 = UC
+	L *[]valueJSON `json:"l,omitempty"`
+}
+
+func toJSONValue(v event.Value) valueJSON {
+	switch v.Kind() {
+	case event.KindString:
+		s := v.Str()
+		return valueJSON{S: &s}
+	case event.KindInt:
+		i := v.Int()
+		return valueJSON{I: &i}
+	case event.KindFloat:
+		f := v.Float()
+		return valueJSON{F: &f}
+	case event.KindBool:
+		b := v.Bool()
+		return valueJSON{B: &b}
+	case event.KindTime:
+		t := int64(v.Time())
+		return valueJSON{T: &t}
+	case event.KindList:
+		l := make([]valueJSON, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			l[i] = toJSONValue(v.Elem(i))
+		}
+		return valueJSON{L: &l}
+	}
+	return valueJSON{} // null
+}
+
+func fromJSONValue(v valueJSON) event.Value {
+	switch {
+	case v.S != nil:
+		return event.StringValue(*v.S)
+	case v.I != nil:
+		return event.IntValue(*v.I)
+	case v.F != nil:
+		return event.FloatValue(*v.F)
+	case v.B != nil:
+		return event.BoolValue(*v.B)
+	case v.T != nil:
+		return event.TimeValue(event.Time(*v.T))
+	case v.L != nil:
+		elems := make([]event.Value, len(*v.L))
+		for i, e := range *v.L {
+			elems[i] = fromJSONValue(e)
+		}
+		return event.ListValue(elems)
+	}
+	return event.Null
+}
+
+func kindName(k event.Kind) string { return k.String() }
+
+func kindFromName(s string) (event.Kind, error) {
+	for _, k := range []event.Kind{
+		event.KindNull, event.KindString, event.KindInt,
+		event.KindFloat, event.KindBool, event.KindTime, event.KindList,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("store: unknown column type %q", s)
+}
+
+// Save writes the whole store (schemas, rows in insertion order, index
+// definitions) as JSON.
+func (s *Store) Save(w io.Writer) error {
+	var doc storeJSON
+	for _, name := range s.Tables() {
+		t, err := s.Table(name)
+		if err != nil {
+			return err
+		}
+		tj := tableJSON{Name: t.Name()}
+		for _, c := range t.Schema() {
+			tj.Columns = append(tj.Columns, columnJSON{Name: c.Name, Type: kindName(c.Type)})
+			if t.HasIndex(c.Name) {
+				tj.Indexes = append(tj.Indexes, c.Name)
+			}
+		}
+		t.Scan(func(_ int64, r Row) bool {
+			row := make([]valueJSON, len(r))
+			for i, v := range r {
+				row[i] = toJSONValue(v)
+			}
+			tj.Rows = append(tj.Rows, row)
+			return true
+		})
+		doc.Tables = append(doc.Tables, tj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Load reconstructs a store from a Save snapshot.
+func Load(r io.Reader) (*Store, error) {
+	var doc storeJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	s := New()
+	for _, tj := range doc.Tables {
+		var schema Schema
+		for _, c := range tj.Columns {
+			k, err := kindFromName(c.Type)
+			if err != nil {
+				return nil, err
+			}
+			schema = append(schema, Column{Name: c.Name, Type: k})
+		}
+		if err := s.CreateTable(tj.Name, schema); err != nil {
+			return nil, err
+		}
+		t, err := s.Table(tj.Name)
+		if err != nil {
+			return nil, err
+		}
+		for ri, row := range tj.Rows {
+			vals := make([]event.Value, len(row))
+			for i, v := range row {
+				vals[i] = fromJSONValue(v)
+			}
+			if err := t.Insert(vals); err != nil {
+				return nil, fmt.Errorf("store: load %s row %d: %w", tj.Name, ri, err)
+			}
+		}
+		for _, col := range tj.Indexes {
+			if err := t.CreateIndex(col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rcep/internal/core/event"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := OpenRFID()
+	loc, _ := s.Table(TableLocation)
+	_ = loc.Insert([]event.Value{
+		event.StringValue("o1"), event.StringValue("warehouse"), event.TimeValue(ts(0)), event.TimeValue(ts(10)),
+	})
+	_ = loc.Insert([]event.Value{
+		event.StringValue("o1"), event.StringValue("store"), event.TimeValue(ts(10)), event.TimeValue(UC),
+	})
+	obsT, _ := s.Table(TableObservation)
+	_ = obsT.Insert([]event.Value{
+		event.StringValue("r1"), event.StringValue("o1"), event.TimeValue(ts(3)),
+	})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same tables.
+	if strings.Join(loaded.Tables(), ",") != strings.Join(s.Tables(), ",") {
+		t.Fatalf("tables: %v vs %v", loaded.Tables(), s.Tables())
+	}
+	// Same rows, UC preserved, insertion order preserved.
+	l2, _ := loaded.Table(TableLocation)
+	if l2.Len() != 2 {
+		t.Fatalf("location rows: %d", l2.Len())
+	}
+	var locs []string
+	var lastEnd event.Time
+	l2.Scan(func(_ int64, r Row) bool {
+		locs = append(locs, r[1].Str())
+		lastEnd = r[3].Time()
+		return true
+	})
+	if locs[0] != "warehouse" || locs[1] != "store" {
+		t.Errorf("order lost: %v", locs)
+	}
+	if lastEnd != UC {
+		t.Errorf("UC lost: %v", lastEnd)
+	}
+	// Index definitions survive.
+	if !l2.HasIndex("object_epc") {
+		t.Errorf("index definition lost")
+	}
+	// Temporal helpers behave identically.
+	if l, ok := LocationAt(loaded, "o1", ts(99)); !ok || l != "store" {
+		t.Errorf("LocationAt on loaded store: %v %v", l, ok)
+	}
+}
+
+func TestSaveLoadValueKinds(t *testing.T) {
+	s := New()
+	_ = s.CreateTable("t", Schema{
+		{Name: "s", Type: event.KindString},
+		{Name: "i", Type: event.KindInt},
+		{Name: "f", Type: event.KindFloat},
+		{Name: "b", Type: event.KindBool},
+		{Name: "tm", Type: event.KindTime},
+	})
+	tbl, _ := s.Table("t")
+	_ = tbl.Insert([]event.Value{
+		event.StringValue("x"), event.IntValue(-7), event.FloatValue(2.25),
+		event.BoolValue(true), event.TimeValue(ts(1.5)),
+	})
+	_ = tbl.Insert([]event.Value{event.Null, event.Null, event.Null, event.Null, event.Null})
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, _ := loaded.Table("t")
+	var rows []Row
+	lt.Scan(func(_ int64, r Row) bool { rows = append(rows, r); return true })
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].Str() != "x" || r[1].Int() != -7 || r[2].Float() != 2.25 || !r[3].Bool() || r[4].Time() != ts(1.5) {
+		t.Errorf("row 0: %v", r)
+	}
+	for i, v := range rows[1] {
+		if !v.IsNull() {
+			t.Errorf("null col %d became %v", i, v)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not-json")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"tables":[{"name":"t","columns":[{"name":"a","type":"alien"}]}]}`)); err == nil {
+		t.Errorf("unknown type accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"tables":[{"name":"t","columns":[{"name":"a","type":"int"}],"rows":[[{"s":"notint"}]]}]}`)); err == nil {
+		t.Errorf("type mismatch accepted")
+	}
+}

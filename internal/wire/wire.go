@@ -1,0 +1,373 @@
+// Package wire exposes an rcep engine over TCP with a newline-delimited
+// JSON protocol, so RFID edge readers (or the simulator) can stream
+// observations to a central event processor and receive rule firings —
+// the deployment shape of the middleware platforms the paper's related
+// work surveys.
+//
+// Client → server messages:
+//
+//	{"type":"obs","reader":"r1","object":"o1","at_ns":1000000000}
+//	{"type":"advance","at_ns":5000000000}   // idle-time progress
+//	{"type":"query","sql":"SELECT ..."}
+//	{"type":"bye"}                          // graceful end of this feed
+//
+// Server → client messages:
+//
+//	{"type":"fire","rule":"r5","name":"asset monitoring rule",
+//	 "begin_ns":..., "end_ns":..., "bindings":{"o4":"L1"}}
+//	{"type":"result","columns":[...],"rows":[[...]]}
+//	{"type":"error","msg":"..."}
+//	{"type":"stats","observations":N,"detections":M}   // reply to bye
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rcep"
+	"rcep/internal/core/event"
+	"rcep/internal/stream"
+)
+
+// Message is one protocol frame, client- or server-originated.
+type Message struct {
+	Type string `json:"type"`
+
+	// obs / advance
+	Reader string `json:"reader,omitempty"`
+	Object string `json:"object,omitempty"`
+	AtNS   int64  `json:"at_ns,omitempty"`
+
+	// query
+	SQL string `json:"sql,omitempty"`
+
+	// fire
+	Rule     string         `json:"rule,omitempty"`
+	Name     string         `json:"name,omitempty"`
+	BeginNS  int64          `json:"begin_ns,omitempty"`
+	EndNS    int64          `json:"end_ns,omitempty"`
+	Bindings map[string]any `json:"bindings,omitempty"`
+
+	// result
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+
+	// error / stats
+	Msg          string `json:"msg,omitempty"`
+	Observations uint64 `json:"observations,omitempty"`
+	Detections   uint64 `json:"detections,omitempty"`
+}
+
+// Server serves one shared engine to any number of connections.
+// Observations from all connections are serialized into the engine;
+// firings are broadcast to every connected client.
+type Server struct {
+	// emu serializes engine access; cmu guards the client registry.
+	// They are distinct because rule firings broadcast while the engine
+	// lock is held.
+	emu     sync.Mutex
+	cmu     sync.Mutex
+	eng     *rcep.Engine
+	ingest  func(event.Observation) error // stage chain ending in the engine
+	flush   func() error                  // reorder flush, when configured
+	clients map[*json.Encoder]*sync.Mutex
+}
+
+// Option tunes a Server.
+type Option func(*serverOpts)
+
+type serverOpts struct {
+	dedupWindow  time.Duration
+	reorderSlack time.Duration
+}
+
+// WithDedup installs a duplicate filter in front of the engine: repeated
+// (reader, object) reads within the window are dropped (paper §3.1
+// low-level filtering at the middleware boundary).
+func WithDedup(window time.Duration) Option {
+	return func(o *serverOpts) { o.dedupWindow = window }
+}
+
+// WithReorder installs a bounded reorder buffer in front of the engine,
+// tolerating timestamp skew of up to slack across connections (multiple
+// edge readers never agree perfectly on delivery order).
+func WithReorder(slack time.Duration) Option {
+	return func(o *serverOpts) { o.reorderSlack = slack }
+}
+
+// NewServer builds a server around a fresh engine. The config's
+// OnDetection, if set, still runs in addition to the broadcast.
+func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
+	s := &Server{clients: map[*json.Encoder]*sync.Mutex{}}
+	var so serverOpts
+	for _, o := range opts {
+		o(&so)
+	}
+	user := cfg.OnDetection
+	cfg.OnDetection = func(d rcep.Detection) {
+		if user != nil {
+			user(d)
+		}
+		s.broadcast(Message{
+			Type: "fire", Rule: d.RuleID, Name: d.RuleName,
+			BeginNS: int64(d.Begin), EndNS: int64(d.End),
+			Bindings: d.Bindings,
+		})
+	}
+	eng, err := rcep.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	// The ingest chain runs under emu: engine, then dedup, then reorder
+	// in front (stages are stateful and single-writer).
+	s.ingest = func(o event.Observation) error {
+		return eng.Ingest(o.Reader, o.Object, time.Duration(o.At))
+	}
+	if so.dedupWindow > 0 {
+		d := stream.NewDedup(so.dedupWindow, s.ingest)
+		s.ingest = d.Push
+	}
+	if so.reorderSlack > 0 {
+		r := stream.NewReorder(so.reorderSlack, s.ingest)
+		s.ingest = r.Push
+		s.flush = r.Flush
+	}
+	return s, nil
+}
+
+// Engine returns the underlying engine, e.g. to register procedures
+// before serving.
+func (s *Server) Engine() *rcep.Engine { return s.eng }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) broadcast(m Message) {
+	s.cmu.Lock()
+	encs := make([]*json.Encoder, 0, len(s.clients))
+	locks := make([]*sync.Mutex, 0, len(s.clients))
+	for e, l := range s.clients {
+		encs = append(encs, e)
+		locks = append(locks, l)
+	}
+	s.cmu.Unlock()
+	for i, e := range encs {
+		locks[i].Lock()
+		_ = e.Encode(m) // a dead client is detached by its handler
+		locks[i].Unlock()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	encMu := &sync.Mutex{}
+	s.cmu.Lock()
+	s.clients[enc] = encMu
+	s.cmu.Unlock()
+	defer func() {
+		s.cmu.Lock()
+		delete(s.clients, enc)
+		s.cmu.Unlock()
+	}()
+
+	reply := func(m Message) {
+		encMu.Lock()
+		defer encMu.Unlock()
+		_ = enc.Encode(m)
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // disconnect or garbage: drop the connection
+		}
+		switch m.Type {
+		case "obs":
+			s.emu.Lock()
+			err := s.ingest(event.Observation{
+				Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
+			})
+			s.emu.Unlock()
+			if err != nil {
+				reply(Message{Type: "error", Msg: err.Error()})
+			}
+		case "advance":
+			s.emu.Lock()
+			var err error
+			if s.flush != nil {
+				err = s.flush()
+			}
+			if err == nil {
+				err = s.eng.AdvanceTo(time.Duration(m.AtNS))
+			}
+			s.emu.Unlock()
+			if err != nil {
+				reply(Message{Type: "error", Msg: err.Error()})
+			}
+		case "query":
+			s.emu.Lock()
+			cols, rows, err := s.eng.Query(m.SQL)
+			s.emu.Unlock()
+			if err != nil {
+				reply(Message{Type: "error", Msg: err.Error()})
+				continue
+			}
+			reply(Message{Type: "result", Columns: cols, Rows: jsonRows(rows)})
+		case "bye":
+			s.emu.Lock()
+			met := s.eng.Metrics()
+			s.emu.Unlock()
+			reply(Message{Type: "stats", Observations: met.Observations, Detections: met.Detections})
+			return
+		default:
+			reply(Message{Type: "error", Msg: fmt.Sprintf("unknown message type %q", m.Type)})
+		}
+	}
+}
+
+// jsonRows converts query rows into JSON-safe values (durations become
+// nanosecond integers).
+func jsonRows(rows [][]any) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			if d, ok := v.(time.Duration); ok {
+				row[j] = int64(d)
+			} else {
+				row[j] = v
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Client is a typed connection to a Server.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+
+	mu     sync.Mutex
+	fires  []Message
+	result chan Message
+	stats  chan Message
+	// OnFire, when set, receives rule firings as they arrive.
+	OnFire func(Message)
+	errCh  chan error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		dec:    json.NewDecoder(bufio.NewReader(conn)),
+		result: make(chan Message, 1),
+		stats:  make(chan Message, 1),
+		errCh:  make(chan error, 1),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		var m Message
+		if err := c.dec.Decode(&m); err != nil {
+			c.errCh <- err
+			close(c.result)
+			close(c.stats)
+			return
+		}
+		switch m.Type {
+		case "fire":
+			c.mu.Lock()
+			c.fires = append(c.fires, m)
+			cb := c.OnFire
+			c.mu.Unlock()
+			if cb != nil {
+				cb(m)
+			}
+		case "result", "error":
+			select {
+			case c.result <- m:
+			default:
+			}
+		case "stats":
+			select {
+			case c.stats <- m:
+			default:
+			}
+		}
+	}
+}
+
+// Send streams one observation.
+func (c *Client) Send(reader, object string, at time.Duration) error {
+	return c.enc.Encode(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+}
+
+// Advance moves the server's virtual clock forward.
+func (c *Client) Advance(at time.Duration) error {
+	return c.enc.Encode(Message{Type: "advance", AtNS: int64(at)})
+}
+
+// Query runs SQL on the server's data store.
+func (c *Client) Query(sql string) ([]string, [][]any, error) {
+	if err := c.enc.Encode(Message{Type: "query", SQL: sql}); err != nil {
+		return nil, nil, err
+	}
+	m, ok := <-c.result
+	if !ok {
+		return nil, nil, errors.New("wire: connection closed")
+	}
+	if m.Type == "error" {
+		return nil, nil, errors.New(m.Msg)
+	}
+	return m.Columns, m.Rows, nil
+}
+
+// Firings returns the rule firings received so far.
+func (c *Client) Firings() []Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Message(nil), c.fires...)
+}
+
+// Close ends the feed gracefully and returns the server's stats.
+func (c *Client) Close() (Message, error) {
+	if err := c.enc.Encode(Message{Type: "bye"}); err != nil {
+		c.conn.Close()
+		return Message{}, err
+	}
+	m, ok := <-c.stats
+	c.conn.Close()
+	if !ok {
+		return Message{}, errors.New("wire: connection closed before stats")
+	}
+	return m, nil
+}

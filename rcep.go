@@ -1,0 +1,500 @@
+// Package rcep is a complex event processing engine for RFID data
+// streams, reproducing Wang, Liu, Liu & Bai, "Bridging Physical and
+// Virtual Worlds: Complex Event Processing for RFID Data Streams"
+// (EDBT 2006).
+//
+// An Engine is configured with a declarative rule script:
+//
+//	DEFINE E1 = observation('r1', o1, t1)
+//	DEFINE E2 = observation('r2', o2, t2)
+//	CREATE RULE r4, containment rule
+//	ON TSEQ(TSEQ+(E1, 0.1sec, 1sec); E2, 10sec, 20sec)
+//	IF true
+//	DO BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, 'UC')
+//
+// and fed reader observations in timestamp order. Complex events are
+// detected by RCEDA — a graph-based detector in which temporal constraints
+// are first-class and non-spontaneous events (negation, aperiodic
+// sequences) complete via pseudo events — and fire the rules' SQL actions
+// against an embedded RFID data store or user-registered procedures.
+package rcep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	pctx "rcep/internal/core/context"
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/rules"
+	"rcep/internal/sqlmini"
+	"rcep/internal/store"
+)
+
+// Observation is one primitive event: reader r saw object o at time At
+// (an offset on the engine's virtual timeline).
+type Observation struct {
+	Reader string
+	Object string
+	At     time.Duration
+}
+
+// Detection reports one rule firing.
+type Detection struct {
+	RuleID   string
+	RuleName string
+	Begin    time.Duration
+	End      time.Duration
+	Bindings map[string]any
+}
+
+// ProcContext is passed to registered procedures.
+type ProcContext struct {
+	RuleID   string
+	RuleName string
+	Begin    time.Duration
+	End      time.Duration
+}
+
+// Proc is a user procedure callable from a rule's DO list.
+type Proc func(ctx ProcContext, args []any) error
+
+// Func is a user scalar function callable from rule conditions.
+type Func func(args []any) (any, error)
+
+// Config configures an Engine.
+type Config struct {
+	// Rules is the rule script (DEFINE / CREATE RULE statements).
+	Rules string
+
+	// Context selects the parameter context by name: "chronicle"
+	// (default), "recent", "continuous", "cumulative", "unrestricted".
+	Context string
+
+	// Groups maps a reader to its groups; nil means every reader is its
+	// own group.
+	Groups func(reader string) []string
+
+	// TypeOf maps an object EPC to a type name for type(o) predicates.
+	TypeOf func(object string) string
+
+	// OnDetection, when set, observes every rule firing (after the IF
+	// condition passed).
+	OnDetection func(Detection)
+
+	// DisableMerging turns off common sub-graph merging (for
+	// experiments; keep it on in production).
+	DisableMerging bool
+
+	// IndexPrimitives dispatches observations by reader literal instead
+	// of probing every leaf pattern — recommended for deployments with
+	// many rules over distinct readers.
+	IndexPrimitives bool
+
+	// MaxPartitionBuffer, MaxHistory and MaxOpenSequence bound per-node
+	// engine state for unruly inputs (see detect.Config); zero means
+	// unbounded, the paper's semantics. Evictions are lossy and counted
+	// in Metrics.Dropped.
+	MaxPartitionBuffer int
+	MaxHistory         int
+	MaxOpenSequence    int
+
+	// StoreSnapshot, when set, restores the embedded data store from a
+	// snapshot produced by SaveStore instead of opening a fresh one.
+	StoreSnapshot io.Reader
+
+	// Checkpoint, when set, restores BOTH the data store and the
+	// engine's in-flight detection state (pending windows, open
+	// sequences, scheduled pseudo events) from a SaveCheckpoint
+	// snapshot. The rule script must be identical to the one that wrote
+	// the checkpoint. Mutually exclusive with StoreSnapshot.
+	Checkpoint io.Reader
+}
+
+// Engine is a configured RFID complex event processor. It is not safe for
+// concurrent use; feed it from one goroutine.
+type Engine struct {
+	eng   *detect.Engine
+	exec  *rules.Executor
+	store *store.Store
+	procs rules.Procs
+	funcs sqlmini.Funcs
+	errs  []error
+}
+
+// New parses the rule script, compiles the event graph and returns a
+// ready engine backed by a fresh RFID data store (OBSERVATION,
+// OBJECTLOCATION, OBJECTCONTAINMENT, INVENTORY, ALERTS).
+func New(cfg Config) (*Engine, error) {
+	rs, err := rules.ParseScript(cfg.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("rcep: parse rules: %w", err)
+	}
+	if len(rs.Rules) == 0 {
+		return nil, errors.New("rcep: no rules in script")
+	}
+	ctx := pctx.Chronicle
+	if cfg.Context != "" {
+		ctx, err = pctx.Parse(cfg.Context)
+		if err != nil {
+			return nil, fmt.Errorf("rcep: %w", err)
+		}
+	}
+	e := &Engine{
+		store: store.OpenRFID(),
+		procs: rules.Procs{},
+		funcs: sqlmini.Funcs{},
+	}
+	var engineCk []byte
+	switch {
+	case cfg.Checkpoint != nil && cfg.StoreSnapshot != nil:
+		return nil, errors.New("rcep: Checkpoint and StoreSnapshot are mutually exclusive")
+	case cfg.Checkpoint != nil:
+		var ck fullCheckpoint
+		if err := json.NewDecoder(cfg.Checkpoint).Decode(&ck); err != nil {
+			return nil, fmt.Errorf("rcep: restore checkpoint: %w", err)
+		}
+		e.store, err = store.Load(bytes.NewReader(ck.Store))
+		if err != nil {
+			return nil, fmt.Errorf("rcep: restore checkpoint: %w", err)
+		}
+		engineCk = ck.Engine
+	case cfg.StoreSnapshot != nil:
+		e.store, err = store.Load(cfg.StoreSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("rcep: restore store: %w", err)
+		}
+	}
+	e.exec = rules.NewExecutor(rs, e.store, e.procs, e.funcs)
+	e.exec.OnError = func(r *rules.Rule, err error) {
+		e.errs = append(e.errs, fmt.Errorf("rule %s: %w", r.ID, err))
+	}
+	var bopts []graph.Option
+	if cfg.DisableMerging {
+		bopts = append(bopts, graph.WithoutMerging())
+	}
+	b := graph.NewBuilder(bopts...)
+	if err := e.exec.Bind(b); err != nil {
+		return nil, fmt.Errorf("rcep: %w", err)
+	}
+	onDetect := e.exec.Dispatch
+	if cfg.OnDetection != nil {
+		user := cfg.OnDetection
+		byIndex := rs.Rules
+		onDetect = func(idx int, inst *event.Instance) {
+			before := len(e.exec.Firings())
+			e.exec.Dispatch(idx, inst)
+			if len(e.exec.Firings()) > before {
+				r := byIndex[idx]
+				user(Detection{
+					RuleID:   r.ID,
+					RuleName: r.Name,
+					Begin:    time.Duration(inst.Begin),
+					End:      time.Duration(inst.End),
+					Bindings: bindingsToAny(inst.Binds),
+				})
+			}
+		}
+	}
+	e.eng, err = detect.New(detect.Config{
+		Graph:              b.Finalize(),
+		Context:            ctx,
+		Groups:             cfg.Groups,
+		TypeOf:             cfg.TypeOf,
+		OnDetect:           onDetect,
+		IndexPrimitives:    cfg.IndexPrimitives,
+		MaxPartitionBuffer: cfg.MaxPartitionBuffer,
+		MaxHistory:         cfg.MaxHistory,
+		MaxOpenSequence:    cfg.MaxOpenSequence,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rcep: %w", err)
+	}
+	if engineCk != nil {
+		if err := e.eng.RestoreCheckpoint(bytes.NewReader(engineCk)); err != nil {
+			return nil, fmt.Errorf("rcep: restore checkpoint: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// RegisterProcedure makes a procedure callable from DO lists. Register
+// everything before ingesting observations.
+func (e *Engine) RegisterProcedure(name string, fn Proc) {
+	e.procs[name] = func(ctx rules.ActionContext, args []event.Value) error {
+		goArgs := make([]any, len(args))
+		for i, a := range args {
+			goArgs[i] = valueToAny(a)
+		}
+		return fn(ProcContext{
+			RuleID:   ctx.RuleID,
+			RuleName: ctx.RuleName,
+			Begin:    time.Duration(ctx.Inst.Begin),
+			End:      time.Duration(ctx.Inst.End),
+		}, goArgs)
+	}
+}
+
+// RegisterFunc makes a scalar function callable from IF conditions.
+// Register everything before ingesting observations.
+func (e *Engine) RegisterFunc(name string, fn Func) {
+	e.funcs[name] = func(args []event.Value) (event.Value, error) {
+		goArgs := make([]any, len(args))
+		for i, a := range args {
+			goArgs[i] = valueToAny(a)
+		}
+		out, err := fn(goArgs)
+		if err != nil {
+			return event.Null, err
+		}
+		return anyToValue(out)
+	}
+}
+
+// SetRuleEnabled enables or disables a rule at runtime by its script ID.
+// A disabled rule's event is still detected (the event graph is shared
+// across rules) but its condition and actions are skipped. It reports
+// whether the rule exists.
+func (e *Engine) SetRuleEnabled(ruleID string, enabled bool) bool {
+	return e.exec.SetEnabled(ruleID, enabled)
+}
+
+// Ingest feeds one observation. Observations must be in non-decreasing
+// time order; use IngestAll with a pre-sorted batch when unsure.
+func (e *Engine) Ingest(reader, object string, at time.Duration) error {
+	return e.eng.Ingest(event.Observation{Reader: reader, Object: object, At: event.Time(at)})
+}
+
+// IngestObservation feeds one Observation.
+func (e *Engine) IngestObservation(o Observation) error {
+	return e.Ingest(o.Reader, o.Object, o.At)
+}
+
+// IngestBatch sorts a batch by timestamp (stable) and feeds it. The whole
+// batch must still not precede anything already ingested.
+func (e *Engine) IngestBatch(batch []Observation) error {
+	sorted := append([]Observation(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for _, o := range sorted {
+		if err := e.IngestObservation(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AdvanceTo moves virtual time forward with no observations, letting
+// negation windows and sequence closures expire (e.g. outfield events).
+func (e *Engine) AdvanceTo(at time.Duration) error {
+	return e.eng.AdvanceTo(event.Time(at))
+}
+
+// Close completes every pending detection whose window ends after the
+// last observation, and returns the accumulated rule action errors (nil
+// when every action succeeded).
+func (e *Engine) Close() error {
+	e.eng.Close()
+	return errors.Join(e.errs...)
+}
+
+// Errs returns the rule action/condition errors collected so far.
+func (e *Engine) Errs() []error { return e.errs }
+
+// Firings returns the audit log of rule firings so far.
+func (e *Engine) Firings() []Detection {
+	rs := e.exec.Rules()
+	var out []Detection
+	for _, f := range e.exec.Firings() {
+		var name string
+		if r, ok := rs.Rule(f.RuleID); ok {
+			name = r.Name
+		}
+		out = append(out, Detection{
+			RuleID:   f.RuleID,
+			RuleName: name,
+			Begin:    time.Duration(f.Inst.Begin),
+			End:      time.Duration(f.Inst.End),
+			Bindings: bindingsToAny(f.Inst.Binds),
+		})
+	}
+	return out
+}
+
+// Query runs a SELECT against the embedded RFID data store.
+func (e *Engine) Query(sql string) (cols []string, rows [][]any, err error) {
+	res, err := sqlmini.Exec(e.store, sql, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rcep: %w", err)
+	}
+	out := make([][]any, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			row[j] = valueToAny(v)
+		}
+		out[i] = row
+	}
+	return res.Columns, out, nil
+}
+
+// Exec runs a non-SELECT SQL statement against the embedded store and
+// returns the number of affected rows. Useful for seeding reference data.
+func (e *Engine) Exec(sql string) (int, error) {
+	res, err := sqlmini.Exec(e.store, sql, nil)
+	if err != nil {
+		return 0, fmt.Errorf("rcep: %w", err)
+	}
+	return res.RowsAffected, nil
+}
+
+// Stay is one entry of an object's reconstructed movement trace. Open
+// marks the current (until-changed) stay.
+type Stay struct {
+	Location string
+	Start    time.Duration
+	End      time.Duration // meaningless when Open
+	Open     bool
+}
+
+// Trace reconstructs an object's movement from the data store's location
+// and containment histories: where it was, following containment chains
+// (an item inside a case is wherever the case is).
+func (e *Engine) Trace(object string) ([]Stay, error) {
+	stays, err := store.Trace(e.store, object)
+	if err != nil {
+		return nil, fmt.Errorf("rcep: %w", err)
+	}
+	if len(stays) == 0 {
+		return nil, nil
+	}
+	out := make([]Stay, len(stays))
+	for i, s := range stays {
+		out[i] = Stay{
+			Location: s.Location,
+			Start:    time.Duration(s.Start),
+			End:      time.Duration(s.End),
+			Open:     s.End == store.UC,
+		}
+	}
+	return out, nil
+}
+
+// LocateAt resolves an object's effective location at a point in time,
+// following containment chains.
+func (e *Engine) LocateAt(object string, at time.Duration) (string, bool) {
+	return store.EffectiveLocationAt(e.store, object, event.Time(at))
+}
+
+// SaveStore snapshots the embedded data store as JSON; restore it in a
+// later session via Config.StoreSnapshot.
+func (e *Engine) SaveStore(w io.Writer) error {
+	return e.store.Save(w)
+}
+
+// fullCheckpoint combines the data store and the detection state.
+type fullCheckpoint struct {
+	Store  json.RawMessage `json:"store"`
+	Engine json.RawMessage `json:"engine"`
+}
+
+// SaveCheckpoint snapshots the data store AND the engine's in-flight
+// detection state, so a restart (Config.Checkpoint with the same rules)
+// resumes mid-window: buffered constituents, open sequences and pending
+// negation windows all survive. The rule firing audit log does not.
+func (e *Engine) SaveCheckpoint(w io.Writer) error {
+	var st, en bytes.Buffer
+	if err := e.store.Save(&st); err != nil {
+		return fmt.Errorf("rcep: checkpoint store: %w", err)
+	}
+	if err := e.eng.SaveCheckpoint(&en); err != nil {
+		return fmt.Errorf("rcep: checkpoint engine: %w", err)
+	}
+	return json.NewEncoder(w).Encode(fullCheckpoint{
+		Store:  st.Bytes(),
+		Engine: en.Bytes(),
+	})
+}
+
+// Metrics summarizes engine activity.
+type Metrics struct {
+	Observations    uint64
+	PseudoScheduled uint64
+	PseudoFired     uint64
+	Detections      uint64
+	Dropped         uint64 // state evicted by the Max* limits
+}
+
+// Metrics returns a snapshot of activity counters.
+func (e *Engine) Metrics() Metrics {
+	m := e.eng.Metrics()
+	return Metrics{
+		Observations:    m.Observations,
+		PseudoScheduled: m.PseudoScheduled,
+		PseudoFired:     m.PseudoFired,
+		Detections:      m.Detections,
+		Dropped:         m.Dropped,
+	}
+}
+
+// bindingsToAny converts event bindings to a plain Go map.
+func bindingsToAny(b map[string]event.Value) map[string]any {
+	out := make(map[string]any, len(b))
+	for k, v := range b {
+		out[k] = valueToAny(v)
+	}
+	return out
+}
+
+// valueToAny converts an internal value to a plain Go value: string,
+// int64, float64, bool, time.Duration (timestamps), []any (lists) or nil.
+func valueToAny(v event.Value) any {
+	switch v.Kind() {
+	case event.KindString:
+		return v.Str()
+	case event.KindInt:
+		return v.Int()
+	case event.KindFloat:
+		return v.Float()
+	case event.KindBool:
+		return v.Bool()
+	case event.KindTime:
+		if v.Time() == store.UC {
+			return "UC"
+		}
+		return time.Duration(v.Time())
+	case event.KindList:
+		out := make([]any, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out[i] = valueToAny(v.Elem(i))
+		}
+		return out
+	}
+	return nil
+}
+
+// anyToValue converts a plain Go value into an internal value.
+func anyToValue(x any) (event.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return event.Null, nil
+	case string:
+		return event.StringValue(v), nil
+	case bool:
+		return event.BoolValue(v), nil
+	case int:
+		return event.IntValue(int64(v)), nil
+	case int64:
+		return event.IntValue(v), nil
+	case float64:
+		return event.FloatValue(v), nil
+	case time.Duration:
+		return event.TimeValue(event.Time(v)), nil
+	}
+	return event.Null, fmt.Errorf("rcep: unsupported value type %T", x)
+}
