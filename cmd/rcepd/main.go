@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +34,8 @@ func main() {
 		snapshot  = flag.String("snapshot", "", "checkpoint file: store + in-flight detection state (load at start, save on shutdown)")
 		dedup     = flag.Duration("dedup", 0, "duplicate-read filter window (0 = off)")
 		reorder   = flag.Duration("reorder", 0, "out-of-order tolerance across connections (0 = off)")
+		keepalive = flag.Duration("keepalive", 0, "keepalive ping interval; dead peers are reaped (0 = off)")
+		peerTO    = flag.Duration("peer-timeout", 0, "drop connections silent longer than this (0 = 3×keepalive)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -65,6 +68,12 @@ func main() {
 	}
 	if *reorder > 0 {
 		opts = append(opts, wire.WithReorder(*reorder))
+	}
+	if *keepalive > 0 {
+		opts = append(opts, wire.WithKeepalive(*keepalive))
+	}
+	if *peerTO > 0 {
+		opts = append(opts, wire.WithPeerTimeout(*peerTO))
 	}
 	srv, err := wire.NewServer(cfg, opts...)
 	if err != nil {
@@ -100,9 +109,13 @@ func main() {
 		l.Close()
 	}()
 
-	if err := srv.Serve(l); err != nil {
+	// Serve returns nil when the listener closes; a racing accept can
+	// still surface net.ErrClosed, which is the clean-shutdown path, not
+	// a fatal condition.
+	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("rcepd stopped")
 }
 
 func saveSnapshot(eng *rcep.Engine, path string) error {

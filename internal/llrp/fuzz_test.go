@@ -3,6 +3,8 @@ package llrp
 import (
 	"testing"
 	"time"
+
+	"rcep/internal/faults"
 )
 
 // FuzzDecode: arbitrary bytes must decode cleanly or error — no panics,
@@ -18,6 +20,18 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0x3D, 0, 0, 0, 10, 0, 0, 0, 1})
 	f.Add(append(good, ka...))
+	// Deterministically corrupted frames (truncations, bit flips, length
+	// and header tampering) keep the decoder's error paths covered.
+	inj := faults.New(1)
+	for _, c := range inj.Corruptions(good, 16) {
+		f.Add(c)
+	}
+	for _, c := range inj.Corruptions(ka, 8) {
+		f.Add(c)
+	}
+	for _, c := range inj.Corruptions(append(append([]byte(nil), good...), ka...), 8) {
+		f.Add(c)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, n, err := Decode(data)
 		if err != nil {

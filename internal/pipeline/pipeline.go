@@ -63,10 +63,25 @@ type Config struct {
 	Buffer int
 }
 
+// SourceError wraps a failure originating in the Source, as opposed to a
+// stage or sink. RunSupervised restarts only on source failures: a
+// broken source (a dropped reader connection) is transient, a broken
+// sink (the engine) is not.
+type SourceError struct{ Err error }
+
+func (e *SourceError) Error() string { return fmt.Sprintf("pipeline: source: %v", e.Err) }
+func (e *SourceError) Unwrap() error { return e.Err }
+
 // Run executes the pipeline until the source ends or any stage fails. It
-// returns the first error (or ctx.Err on cancellation). The sink has been
-// flushed when Run returns nil; callers still Close() their engine to
-// complete pending pseudo events.
+// returns the first error (or the context's error on cancellation). The
+// sink has been flushed when Run returns nil; callers still Close()
+// their engine to complete pending pseudo events.
+//
+// A source failure does not tear the pipeline down mid-flight: the
+// stages drain and flush everything the source emitted before dying, the
+// sink consumes it all, and only then does Run return the *SourceError.
+// This is what makes supervised restarts loss-free — nothing emitted is
+// dropped on the floor.
 func Run(ctx context.Context, cfg Config) error {
 	if cfg.Source == nil || cfg.Sink == nil {
 		return errors.New("pipeline: Source and Sink are required")
@@ -75,6 +90,7 @@ func Run(ctx context.Context, cfg Config) error {
 	if buf <= 0 {
 		buf = 256
 	}
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -89,7 +105,7 @@ func Run(ctx context.Context, cfg Config) error {
 		mu       sync.Mutex
 		firstErr error
 	)
-	fail := func(err error) {
+	record := func(err error) {
 		if err == nil {
 			return
 		}
@@ -98,6 +114,12 @@ func Run(ctx context.Context, cfg Config) error {
 			firstErr = err
 		}
 		mu.Unlock()
+	}
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		record(err)
 		cancel()
 	}
 	send := func(ch chan<- event.Observation) func(event.Observation) error {
@@ -111,13 +133,15 @@ func Run(ctx context.Context, cfg Config) error {
 		}
 	}
 
-	// Source goroutine.
+	// Source goroutine. A source failure is recorded without cancelling:
+	// closing chans[0] lets the stages drain, flush, and deliver every
+	// observation emitted before the failure.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chans[0])
 		if err := cfg.Source(ctx, send(chans[0])); err != nil && !errors.Is(err, context.Canceled) {
-			fail(fmt.Errorf("pipeline: source: %w", err))
+			record(&SourceError{Err: err})
 		}
 	}()
 
@@ -177,6 +201,11 @@ func Run(ctx context.Context, cfg Config) error {
 	defer mu.Unlock()
 	if firstErr != nil {
 		return firstErr
+	}
+	// External cancellation with no recorded failure still surfaces
+	// deterministically instead of reporting a clean run.
+	if err := parent.Err(); err != nil {
+		return err
 	}
 	return nil
 }

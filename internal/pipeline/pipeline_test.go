@@ -2,7 +2,9 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -160,6 +162,117 @@ func TestPipelineCancellation(t *testing.T) {
 		_ = err
 	case <-time.After(5 * time.Second):
 		t.Fatalf("pipeline did not stop on cancellation")
+	}
+}
+
+// TestPipelineCancelAndFailingSinkUnderRace hammers Run with mid-stream
+// cancellation racing a failing sink (run with -race): the first error
+// must win, Run must return promptly, and no goroutines may leak.
+func TestPipelineCancelAndFailingSinkUnderRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sinkBoom := errors.New("sink boom")
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		// An endless source: only cancellation or the sink failure can
+		// end the run.
+		src := func(ctx context.Context, emit func(event.Observation) error) error {
+			for t := 0; ; t++ {
+				if err := emit(o("r", fmt.Sprintf("x%d", t), float64(t))); err != nil {
+					return err
+				}
+			}
+		}
+		failAt := i % 7 // vary where the sink dies relative to the cancel
+		var seen atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			done <- Run(ctx, Config{
+				Source: src,
+				Stages: []StageFunc{Dedup(time.Second)},
+				Sink: func(event.Observation) error {
+					if int(seen.Add(1)) > failAt*10 {
+						return sinkBoom
+					}
+					return nil
+				},
+				Buffer: 4,
+			})
+		}()
+		if i%2 == 0 {
+			cancel()
+		}
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatalf("iteration %d: endless pipeline returned nil", i)
+			}
+			// Exactly one of the two racing errors wins; nothing else.
+			if !errors.Is(err, sinkBoom) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("iteration %d: unexpected winner: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: pipeline hung", i)
+		}
+		cancel()
+	}
+	// Every goroutine the 50 runs spawned must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d -> %d\n%s", base, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPipelineFirstErrorWins: when the sink fails, the cascade of
+// secondary cancellation errors upstream must not mask it.
+func TestPipelineFirstErrorWins(t *testing.T) {
+	sinkBoom := errors.New("sink boom")
+	srcBoom := errors.New("source boom")
+	err := Run(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			for i := 0; i < 1000; i++ {
+				if err := emit(o("r", fmt.Sprintf("x%d", i), float64(i))); err != nil {
+					return err // cancellation from the sink failure
+				}
+			}
+			return srcBoom
+		},
+		Sink:   func(event.Observation) error { return sinkBoom },
+		Buffer: 1,
+	})
+	if !errors.Is(err, sinkBoom) {
+		t.Fatalf("sink error masked: %v", err)
+	}
+	if errors.Is(err, srcBoom) {
+		t.Fatalf("late source error won: %v", err)
+	}
+}
+
+func TestPipelineExternalCancelSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan event.Observation)
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, Config{
+			Source: ChanSource(ch),
+			Sink:   func(event.Observation) error { return nil },
+		})
+	}()
+	ch <- o("r", "a", 1)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("external cancellation reported %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not stop on cancellation")
 	}
 }
 

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RestartPolicy controls how RunSupervised reacts to source failures.
+type RestartPolicy struct {
+	// MaxRestarts caps source restarts; < 0 means unlimited, 0 means
+	// behave exactly like Run.
+	MaxRestarts int
+
+	Backoff    time.Duration // initial restart delay (default 100ms)
+	MaxBackoff time.Duration // delay cap (default 5s)
+	Multiplier float64       // growth factor (default 2)
+	Jitter     float64       // ± fraction of each delay (default 0.2)
+	Seed       int64         // seeds the jitter for reproducible tests
+
+	// OnRestart observes each restart with its ordinal and the error
+	// that caused it.
+	OnRestart func(restart int, err error)
+}
+
+// SupervisedResult reports what the supervisor did.
+type SupervisedResult struct {
+	Restarts int
+}
+
+// RunSupervised runs the pipeline like Run, but a source failure
+// restarts the source with exponential backoff instead of tearing the
+// whole pipeline down; the sink (the detection engine) keeps its state
+// across restarts. Stage and sink failures, and context cancellation,
+// still end the run immediately — restarting a broken engine would not
+// make it less broken.
+//
+// The source is re-invoked from the top on each restart, so sources used
+// under supervision should be resumable: either naturally (a dialing
+// source that reconnects and resumes its upstream position) or via a
+// wrapper that skips what it already delivered. Run's drain-on-source-
+// failure guarantee means "already delivered" and "reached the sink"
+// coincide.
+func RunSupervised(ctx context.Context, cfg Config, policy RestartPolicy) (SupervisedResult, error) {
+	backoff := policy.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := policy.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	mult := policy.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	jitter := policy.Jitter
+	if jitter <= 0 {
+		jitter = 0.2
+	}
+	rng := rand.New(rand.NewSource(policy.Seed))
+
+	var res SupervisedResult
+	for {
+		err := Run(ctx, cfg)
+		var se *SourceError
+		if err == nil || !errors.As(err, &se) {
+			return res, err
+		}
+		if ctx.Err() != nil {
+			return res, err
+		}
+		if policy.MaxRestarts >= 0 && res.Restarts >= policy.MaxRestarts {
+			if policy.MaxRestarts == 0 {
+				return res, err
+			}
+			return res, fmt.Errorf("pipeline: giving up after %d restarts: %w", res.Restarts, err)
+		}
+		res.Restarts++
+		if policy.OnRestart != nil {
+			policy.OnRestart(res.Restarts, err)
+		}
+		delay := time.Duration(float64(backoff) * (1 + jitter*(2*rng.Float64()-1)))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+		backoff = time.Duration(float64(backoff) * mult)
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/faults"
+)
+
+func mkObs(n int) []event.Observation {
+	obs := make([]event.Observation, n)
+	for i := range obs {
+		obs[i] = event.Observation{Reader: "r", Object: fmt.Sprintf("o%d", i), At: event.Time(i)}
+	}
+	return obs
+}
+
+// TestRunSupervisedSurvivesSourceFailures: a source that keeps dying is
+// restarted with backoff and the sink still receives every observation
+// exactly once, in order.
+func TestRunSupervisedSurvivesSourceFailures(t *testing.T) {
+	obs := mkObs(500)
+	inj := faults.New(3, faults.WithSourceFailure(120, 40))
+
+	var mu sync.Mutex
+	var got []event.Observation
+	res, err := RunSupervised(context.Background(), Config{
+		Source: inj.SourceWrap(SliceSource(obs)),
+		Stages: []StageFunc{Dedup(time.Nanosecond)},
+		Sink: func(o event.Observation) error {
+			mu.Lock()
+			got = append(got, o)
+			mu.Unlock()
+			return nil
+		},
+	}, RestartPolicy{MaxRestarts: -1, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 2 {
+		t.Fatalf("expected several restarts over %d observations, got %d", len(obs), res.Restarts)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("sink received %d observations, want %d (restart lost or duplicated)", len(got), len(obs))
+	}
+	for i := range got {
+		if got[i] != obs[i] {
+			t.Fatalf("observation %d drifted: %v vs %v", i, got[i], obs[i])
+		}
+	}
+}
+
+// TestRunSupervisedGivesUp: the restart budget is honored and the last
+// source error surfaces.
+func TestRunSupervisedGivesUp(t *testing.T) {
+	boom := errors.New("reader unplugged")
+	calls := 0
+	res, err := RunSupervised(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			calls++
+			return boom
+		},
+		Sink: func(event.Observation) error { return nil },
+	}, RestartPolicy{MaxRestarts: 3, Backoff: time.Millisecond})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want the source error, got %v", err)
+	}
+	if res.Restarts != 3 || calls != 4 {
+		t.Fatalf("restarts=%d calls=%d, want 3 restarts over 4 runs", res.Restarts, calls)
+	}
+}
+
+// TestRunSupervisedDoesNotRetrySinkErrors: a broken engine is fatal, not
+// restartable.
+func TestRunSupervisedDoesNotRetrySinkErrors(t *testing.T) {
+	boom := errors.New("engine rejected observation")
+	runs := 0
+	_, err := RunSupervised(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			runs++
+			return emit(event.Observation{Reader: "r", Object: "o"})
+		},
+		Sink: func(event.Observation) error { return boom },
+	}, RestartPolicy{MaxRestarts: -1, Backoff: time.Millisecond})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want sink error, got %v", err)
+	}
+	if runs != 1 {
+		t.Fatalf("sink failure retried %d times", runs)
+	}
+}
+
+// TestRunSupervisedStopsOnCancel: cancellation wins over the restart
+// loop.
+func TestRunSupervisedStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunSupervised(ctx, Config{
+			Source: func(ctx context.Context, emit func(event.Observation) error) error {
+				return errors.New("always failing")
+			},
+			Sink: func(event.Observation) error { return nil },
+		}, RestartPolicy{MaxRestarts: -1, Backoff: 10 * time.Millisecond})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled supervisor reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor ignored cancellation")
+	}
+}

@@ -1,0 +1,546 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReliableClient is the fault-tolerant counterpart of Client for edge
+// readers: every obs/advance frame gets a monotonically increasing
+// sequence number and stays in a bounded in-memory ring (optionally
+// journaled to a Spool) until the server acknowledges it. When the
+// connection drops, the client reconnects with exponential backoff plus
+// seeded jitter and replays everything unacked; the server dedupes by
+// (client_id, seq), so observations are applied to the engine exactly
+// once even though the wire is at-least-once.
+//
+// Rule firings received while connected are delivered via OnFire; during
+// an outage broadcasts are missed (the authoritative record is the
+// server's store and OnDetection hook).
+type ReliableClient struct {
+	opt  ReliableOptions
+	addr string
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	ring       []Message // unacked frames; contiguous ascending Seq, ring[0].Seq == acked+1
+	acked      uint64    // highest cumulative ack from the server
+	next       uint64    // next sequence number to assign
+	closing    bool      // Close has begun; no new Sends
+	wantBye    bool      // drain complete → send bye, await stats
+	aborted    bool      // give up: stop the connection manager
+	failed     error     // terminal failure (dial attempts exhausted)
+	haveStats  bool
+	stats      Message
+	reconnects int
+	fires      []Message
+	timedOut   bool // Close drain deadline expired
+
+	abortCh chan struct{} // closed exactly once on abort/terminal failure
+	doneCh  chan struct{} // closed when the connection manager exits
+	rng     *rand.Rand
+}
+
+// ReliableOptions tunes a ReliableClient. The zero value of every field
+// gets a sensible default except ClientID, which is required: it is the
+// identity the server dedupes on and must be stable across reconnects
+// (and across process restarts when a Spool is used — but never reused
+// for a different logical feed, or the server will drop its frames as
+// stale replays).
+type ReliableOptions struct {
+	ClientID string
+
+	// Dial opens the transport; defaults to a 5s TCP dial of the address
+	// given to DialReliable. Fault injection and TLS both hook in here.
+	Dial func() (net.Conn, error)
+
+	// Buffer bounds the unacked ring (default 1024). A full ring blocks
+	// Send — backpressure toward the edge reader instead of silent loss.
+	Buffer int
+
+	Backoff    time.Duration // initial reconnect delay (default 50ms)
+	MaxBackoff time.Duration // backoff cap (default 5s)
+	Multiplier float64       // backoff growth factor (default 2)
+	Jitter     float64       // ± fraction of each delay (default 0.2)
+	Seed       int64         // seeds the jitter for reproducible tests
+	// MaxAttempts caps consecutive failed dials before the client fails
+	// terminally (0 = retry forever).
+	MaxAttempts int
+
+	// DrainTimeout bounds how long Close waits for outstanding acks and
+	// the final stats exchange (default 10s).
+	DrainTimeout time.Duration
+
+	// Spool, when set, journals every sequenced frame and ack so a
+	// restarted process resumes the feed (see OpenSpool).
+	Spool *Spool
+
+	OnFire func(Message)
+	// OnReconnect is called after each lost session, with the total
+	// reconnect count.
+	OnReconnect func(reconnects int)
+}
+
+// DialReliable starts a reliable feed to addr. It returns immediately;
+// the connection is established (and re-established) in the background,
+// and Send buffers until the link is up.
+func DialReliable(addr string, opt ReliableOptions) (*ReliableClient, error) {
+	if opt.ClientID == "" {
+		return nil, errors.New("wire: ReliableOptions.ClientID is required")
+	}
+	if opt.Dial == nil {
+		opt.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) }
+	}
+	if opt.Buffer <= 0 {
+		opt.Buffer = 1024
+	}
+	if opt.Backoff <= 0 {
+		opt.Backoff = 50 * time.Millisecond
+	}
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 5 * time.Second
+	}
+	if opt.Multiplier <= 1 {
+		opt.Multiplier = 2
+	}
+	if opt.Jitter <= 0 {
+		opt.Jitter = 0.2
+	}
+	if opt.DrainTimeout <= 0 {
+		opt.DrainTimeout = 10 * time.Second
+	}
+	c := &ReliableClient{
+		opt:     opt,
+		addr:    addr,
+		next:    1,
+		abortCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		rng:     rand.New(rand.NewSource(opt.Seed)),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if sp := opt.Spool; sp != nil {
+		pending := sp.Pending()
+		if len(pending) > 0 && pending[0].ClientID != opt.ClientID {
+			return nil, fmt.Errorf("wire: spool belongs to client %q, not %q", pending[0].ClientID, opt.ClientID)
+		}
+		c.ring = pending
+		c.acked = sp.LastAck()
+		c.next = sp.LastSeq() + 1
+	}
+	go c.run()
+	return c, nil
+}
+
+// Send streams one observation through the reliable feed. It blocks only
+// when the unacked ring is full, and fails once the client is closing or
+// terminally failed.
+func (c *ReliableClient) Send(reader, object string, at time.Duration) error {
+	return c.enqueue(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+}
+
+// Advance moves the server's virtual clock forward, with the same
+// delivery guarantee as Send: advances change detection state (negation
+// windows close on them), so they are sequenced and replayed too.
+func (c *ReliableClient) Advance(at time.Duration) error {
+	return c.enqueue(Message{Type: "advance", AtNS: int64(at)})
+}
+
+func (c *ReliableClient) enqueue(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.ring) >= c.opt.Buffer && c.failed == nil && !c.closing {
+		c.cond.Wait()
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	if c.closing {
+		return errors.New("wire: client is closed")
+	}
+	m.ClientID = c.opt.ClientID
+	m.Seq = c.next
+	if c.opt.Spool != nil {
+		if err := c.opt.Spool.Append(m); err != nil {
+			return fmt.Errorf("wire: spool: %w", err)
+		}
+	}
+	c.next++
+	c.ring = append(c.ring, m)
+	c.cond.Broadcast()
+	return nil
+}
+
+// Flush blocks until every frame sent so far is acked, the timeout
+// expires, or the client fails.
+func (c *ReliableClient) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		expired = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer timer.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.acked < c.next-1 && c.failed == nil && !expired {
+		c.cond.Wait()
+	}
+	if c.failed != nil {
+		return c.failed
+	}
+	if c.acked < c.next-1 {
+		return fmt.Errorf("wire: flush timed out before %s with %d frames unacked", deadline.Format("15:04:05"), int(c.next-1-c.acked))
+	}
+	return nil
+}
+
+// Firings returns the rule firings received so far.
+func (c *ReliableClient) Firings() []Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Message(nil), c.fires...)
+}
+
+// Reconnects reports how many times the session was lost and re-dialed.
+func (c *ReliableClient) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Acked reports the highest cumulative ack received.
+func (c *ReliableClient) Acked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.acked
+}
+
+// Close drains outstanding frames, performs the bye/stats exchange, and
+// stops the connection manager. On drain timeout or terminal failure the
+// unacked frames stay in the spool (if any) for the next process.
+func (c *ReliableClient) Close() (Message, error) {
+	timer := time.AfterFunc(c.opt.DrainTimeout, func() {
+		c.mu.Lock()
+		c.timedOut = true
+		c.mu.Unlock()
+		c.cond.Broadcast()
+	})
+	defer timer.Stop()
+
+	c.mu.Lock()
+	c.closing = true
+	c.wantBye = true
+	c.cond.Broadcast()
+	for !c.haveStats && c.failed == nil && !c.timedOut {
+		c.cond.Wait()
+	}
+	stats, ok := c.stats, c.haveStats
+	err := c.failed
+	unacked := len(c.ring)
+	c.mu.Unlock()
+
+	c.abort()
+	<-c.doneCh
+	if sp := c.opt.Spool; sp != nil {
+		if serr := sp.Close(); serr != nil && err == nil && ok {
+			err = serr
+		}
+	}
+	if ok {
+		return stats, err
+	}
+	if err == nil {
+		err = fmt.Errorf("wire: close timed out with %d frames unacked", unacked)
+	}
+	return Message{}, err
+}
+
+// abort stops the connection manager (idempotent).
+func (c *ReliableClient) abort() {
+	c.mu.Lock()
+	if !c.aborted {
+		c.aborted = true
+		close(c.abortCh)
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// fail records a terminal failure and stops the manager.
+func (c *ReliableClient) fail(err error) {
+	c.mu.Lock()
+	if c.failed == nil {
+		c.failed = err
+	}
+	c.mu.Unlock()
+	c.abort()
+}
+
+// run is the connection manager: dial with backoff, run a session,
+// repeat until a clean exit or abort.
+func (c *ReliableClient) run() {
+	defer close(c.doneCh)
+	backoff := c.opt.Backoff
+	attempts := 0
+	for {
+		select {
+		case <-c.abortCh:
+			return
+		default:
+		}
+		conn, err := c.opt.Dial()
+		if err != nil {
+			attempts++
+			if c.opt.MaxAttempts > 0 && attempts >= c.opt.MaxAttempts {
+				c.fail(fmt.Errorf("wire: giving up after %d dial attempts: %w", attempts, err))
+				return
+			}
+			if !c.sleep(c.jittered(backoff)) {
+				return
+			}
+			backoff = c.nextBackoff(backoff)
+			continue
+		}
+		attempts, backoff = 0, c.opt.Backoff
+		clean := c.session(conn)
+		conn.Close()
+		if clean {
+			return
+		}
+		c.mu.Lock()
+		c.reconnects++
+		n := c.reconnects
+		cb := c.opt.OnReconnect
+		c.mu.Unlock()
+		if cb != nil {
+			cb(n)
+		}
+		if !c.sleep(c.jittered(backoff)) {
+			return
+		}
+		backoff = c.nextBackoff(backoff)
+	}
+}
+
+func (c *ReliableClient) nextBackoff(d time.Duration) time.Duration {
+	d = time.Duration(float64(d) * c.opt.Multiplier)
+	if d > c.opt.MaxBackoff {
+		d = c.opt.MaxBackoff
+	}
+	return d
+}
+
+// jittered spreads d by ±Jitter so a fleet of edge clients does not
+// reconnect in lockstep after a server restart.
+func (c *ReliableClient) jittered(d time.Duration) time.Duration {
+	c.mu.Lock()
+	f := 1 + c.opt.Jitter*(2*c.rng.Float64()-1)
+	c.mu.Unlock()
+	j := time.Duration(float64(d) * f)
+	if j < time.Millisecond {
+		j = time.Millisecond
+	}
+	return j
+}
+
+// sleep waits d or until abort; it reports whether the manager should
+// keep running.
+func (c *ReliableClient) sleep(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-c.abortCh:
+		return false
+	}
+}
+
+// session drives one connection: hello/resume, replay of unacked frames,
+// streaming of new ones, and the bye/stats exchange once draining. It
+// reports whether the client is finished (stats received or aborted) as
+// opposed to needing a reconnect.
+func (c *ReliableClient) session(conn net.Conn) bool {
+	var wmu sync.Mutex
+	enc := json.NewEncoder(conn)
+	write := func(m Message) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return enc.Encode(m)
+	}
+
+	// dead is guarded by c.mu; kill unblocks both the reader (via the
+	// conn close) and the writer (via the broadcast).
+	dead := false
+	kill := func() {
+		c.mu.Lock()
+		dead = true
+		c.mu.Unlock()
+		conn.Close()
+		c.cond.Broadcast()
+	}
+
+	// An abort (Close timeout) must unstick a session blocked in a TCP
+	// write, not just one waiting on the cond.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-c.abortCh:
+			conn.Close()
+		case <-stopWatch:
+		}
+	}()
+
+	// The hello answer (an ack) tells us how far a previous session or
+	// process already got.
+	if err := write(Message{Type: "hello", ClientID: c.opt.ClientID}); err != nil {
+		return false
+	}
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		for {
+			var m Message
+			if err := dec.Decode(&m); err != nil {
+				kill()
+				return
+			}
+			switch m.Type {
+			case "ack":
+				c.handleAck(m.Seq)
+			case "fire":
+				c.mu.Lock()
+				c.fires = append(c.fires, m)
+				cb := c.opt.OnFire
+				c.mu.Unlock()
+				if cb != nil {
+					cb(m)
+				}
+			case "ping":
+				if err := write(Message{Type: "pong"}); err != nil {
+					kill()
+					return
+				}
+			case "stats":
+				c.mu.Lock()
+				c.stats = m
+				c.haveStats = true
+				c.mu.Unlock()
+				c.cond.Broadcast()
+				kill()
+				return
+			}
+			// error frames: the engine rejected a frame (e.g. timestamp
+			// order); redelivery cannot fix it, so they are not fatal
+			// to the session.
+		}
+	}()
+
+	// Writer: replay everything past the server's high-water mark, then
+	// stream new frames as they are enqueued.
+	cursor := uint64(0)
+	c.mu.Lock()
+	cursor = c.acked
+	c.mu.Unlock()
+	byeSent := false
+	finished := false
+	for {
+		var batch []Message
+		sendBye := false
+		c.mu.Lock()
+		for {
+			if dead {
+				c.mu.Unlock()
+				goto out
+			}
+			if c.haveStats || c.aborted {
+				finished = true
+				c.mu.Unlock()
+				goto out
+			}
+			if cursor < c.acked {
+				cursor = c.acked // acks advanced past our replay cursor
+			}
+			if n := len(c.ring); n > 0 && c.ring[n-1].Seq > cursor {
+				lo := 0
+				if first := c.ring[0].Seq; cursor >= first {
+					lo = int(cursor - first + 1)
+				}
+				batch = append([]Message(nil), c.ring[lo:]...)
+				break
+			}
+			if c.wantBye && !byeSent && c.acked == c.next-1 {
+				sendBye = true
+				break
+			}
+			c.cond.Wait()
+		}
+		c.mu.Unlock()
+		for _, m := range batch {
+			if err := write(m); err != nil {
+				kill()
+				goto out
+			}
+			cursor = m.Seq
+		}
+		if sendBye {
+			if err := write(Message{Type: "bye"}); err != nil {
+				kill()
+				goto out
+			}
+			byeSent = true
+		}
+	}
+out:
+	// Make sure the reader is gone before the caller closes the conn and
+	// a new session reuses the client state.
+	conn.Close()
+	<-readerDone
+	if !finished {
+		c.mu.Lock()
+		finished = c.haveStats || c.aborted
+		c.mu.Unlock()
+	}
+	return finished
+}
+
+// handleAck releases every ring frame covered by the cumulative ack.
+func (c *ReliableClient) handleAck(seq uint64) {
+	c.mu.Lock()
+	if seq > c.acked {
+		if seq >= c.next {
+			// The server knows this client ID from a previous life with
+			// more frames than we ever sent: a ClientID reuse. Nothing
+			// sane to release beyond our own window.
+			seq = c.next - 1
+		}
+		if len(c.ring) > 0 {
+			drop := int(seq - c.ring[0].Seq + 1)
+			if drop < 0 {
+				drop = 0
+			}
+			if drop > len(c.ring) {
+				drop = len(c.ring)
+			}
+			c.ring = c.ring[drop:]
+			if len(c.ring) == 0 {
+				c.ring = nil // release the backing array
+			}
+		}
+		c.acked = seq
+		if c.opt.Spool != nil {
+			_ = c.opt.Spool.Ack(seq)
+		}
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}

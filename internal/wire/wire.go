@@ -9,6 +9,8 @@
 //	{"type":"obs","reader":"r1","object":"o1","at_ns":1000000000}
 //	{"type":"advance","at_ns":5000000000}   // idle-time progress
 //	{"type":"query","sql":"SELECT ..."}
+//	{"type":"hello","client_id":"edge1"}    // reliable feed resume probe
+//	{"type":"pong"}                         // keepalive reply
 //	{"type":"bye"}                          // graceful end of this feed
 //
 // Server → client messages:
@@ -16,8 +18,18 @@
 //	{"type":"fire","rule":"r5","name":"asset monitoring rule",
 //	 "begin_ns":..., "end_ns":..., "bindings":{"o4":"L1"}}
 //	{"type":"result","columns":[...],"rows":[[...]]}
+//	{"type":"ack","seq":N}                  // cumulative, per client_id
+//	{"type":"ping"}                         // keepalive probe
 //	{"type":"error","msg":"..."}
 //	{"type":"stats","observations":N,"detections":M}   // reply to bye
+//
+// Reliable delivery: obs/advance frames may carry client_id and a
+// monotonically increasing seq (starting at 1). The server applies each
+// (client_id, seq) at most once — a reconnecting client replays unacked
+// frames and duplicates are dropped, turning at-least-once delivery into
+// engine-side exactly-once. Acks are cumulative: ack N covers every seq
+// ≤ N. A hello frame is answered with the highest seq applied for that
+// client, so a resuming client can skip frames the server already has.
 package wire
 
 import (
@@ -38,10 +50,15 @@ import (
 type Message struct {
 	Type string `json:"type"`
 
-	// obs / advance
+	// obs / advance. Timestamps carry no omitempty: t=0 is a legitimate
+	// observation time and must survive the wire.
 	Reader string `json:"reader,omitempty"`
 	Object string `json:"object,omitempty"`
-	AtNS   int64  `json:"at_ns,omitempty"`
+	AtNS   int64  `json:"at_ns"`
+
+	// reliable delivery (obs/advance/hello/ack)
+	ClientID string `json:"client_id,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
 
 	// query
 	SQL string `json:"sql,omitempty"`
@@ -49,8 +66,8 @@ type Message struct {
 	// fire
 	Rule     string         `json:"rule,omitempty"`
 	Name     string         `json:"name,omitempty"`
-	BeginNS  int64          `json:"begin_ns,omitempty"`
-	EndNS    int64          `json:"end_ns,omitempty"`
+	BeginNS  int64          `json:"begin_ns"`
+	EndNS    int64          `json:"end_ns"`
 	Bindings map[string]any `json:"bindings,omitempty"`
 
 	// result
@@ -76,6 +93,13 @@ type Server struct {
 	ingest  func(event.Observation) error // stage chain ending in the engine
 	flush   func() error                  // reorder flush, when configured
 	clients map[*json.Encoder]*sync.Mutex
+	opts    serverOpts
+
+	// seqMu guards lastSeq: highest sequence number applied per client
+	// ID. The map outlives individual connections so a reconnecting
+	// client's replayed frames dedupe correctly.
+	seqMu   sync.Mutex
+	lastSeq map[string]uint64
 }
 
 // Option tunes a Server.
@@ -84,6 +108,8 @@ type Option func(*serverOpts)
 type serverOpts struct {
 	dedupWindow  time.Duration
 	reorderSlack time.Duration
+	keepalive    time.Duration
+	peerTimeout  time.Duration
 }
 
 // WithDedup installs a duplicate filter in front of the engine: repeated
@@ -100,14 +126,33 @@ func WithReorder(slack time.Duration) Option {
 	return func(o *serverOpts) { o.reorderSlack = slack }
 }
 
+// WithKeepalive makes the server send a ping frame on every connection
+// each interval. Combined with the peer timeout (default 3×interval) it
+// reaps dead peers: a client that neither sends frames nor answers pings
+// is disconnected instead of holding a goroutine forever.
+func WithKeepalive(interval time.Duration) Option {
+	return func(o *serverOpts) { o.keepalive = interval }
+}
+
+// WithPeerTimeout sets the per-connection read deadline explicitly. A
+// connection that stays silent longer than d is closed. Zero with
+// keepalive enabled defaults to 3× the keepalive interval.
+func WithPeerTimeout(d time.Duration) Option {
+	return func(o *serverOpts) { o.peerTimeout = d }
+}
+
 // NewServer builds a server around a fresh engine. The config's
 // OnDetection, if set, still runs in addition to the broadcast.
 func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
-	s := &Server{clients: map[*json.Encoder]*sync.Mutex{}}
+	s := &Server{
+		clients: map[*json.Encoder]*sync.Mutex{},
+		lastSeq: map[string]uint64{},
+	}
 	var so serverOpts
 	for _, o := range opts {
 		o(&so)
 	}
+	s.opts = so
 	user := cfg.OnDetection
 	cfg.OnDetection = func(d rcep.Detection) {
 		if user != nil {
@@ -193,35 +238,76 @@ func (s *Server) handle(conn net.Conn) {
 		defer encMu.Unlock()
 		_ = enc.Encode(m)
 	}
+
+	// Keepalive: ping on an interval; a peer that stays silent past the
+	// read deadline is reaped (Decode fails on the expired deadline).
+	timeout := s.opts.peerTimeout
+	if timeout == 0 && s.opts.keepalive > 0 {
+		timeout = 3 * s.opts.keepalive
+	}
+	if s.opts.keepalive > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(s.opts.keepalive)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					reply(Message{Type: "ping"})
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	for {
+		if timeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		}
 		var m Message
 		if err := dec.Decode(&m); err != nil {
-			return // disconnect or garbage: drop the connection
+			return // disconnect, deadline expiry, or garbage: drop the connection
 		}
 		switch m.Type {
-		case "obs":
-			s.emu.Lock()
-			err := s.ingest(event.Observation{
-				Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
-			})
-			s.emu.Unlock()
-			if err != nil {
-				reply(Message{Type: "error", Msg: err.Error()})
+		case "obs", "advance":
+			// Sequenced frames apply at most once per (client_id, seq);
+			// stale replays are dropped but still acked so the sender
+			// can release its buffer.
+			fresh := true
+			if m.ClientID != "" && m.Seq > 0 {
+				fresh, _ = s.claimSeq(m.ClientID, m.Seq)
 			}
-		case "advance":
-			s.emu.Lock()
 			var err error
-			if s.flush != nil {
-				err = s.flush()
+			if fresh {
+				s.emu.Lock()
+				if m.Type == "obs" {
+					err = s.ingest(event.Observation{
+						Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
+					})
+				} else {
+					if s.flush != nil {
+						err = s.flush()
+					}
+					if err == nil {
+						err = s.eng.AdvanceTo(time.Duration(m.AtNS))
+					}
+				}
+				s.emu.Unlock()
 			}
-			if err == nil {
-				err = s.eng.AdvanceTo(time.Duration(m.AtNS))
-			}
-			s.emu.Unlock()
 			if err != nil {
 				reply(Message{Type: "error", Msg: err.Error()})
 			}
+			if m.ClientID != "" && m.Seq > 0 {
+				reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+			}
+		case "hello":
+			// Resume probe: tell the client how far this feed already got.
+			reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+		case "pong":
+			// Keepalive reply; receiving it already refreshed the deadline.
 		case "query":
 			s.emu.Lock()
 			cols, rows, err := s.eng.Query(m.SQL)
@@ -243,6 +329,28 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// claimSeq records seq as applied for the client and reports whether the
+// frame is fresh. Frames arrive in sequence order per client (a client
+// writes one connection at a time, in order), so a cumulative high-water
+// mark is a complete dedupe record.
+func (s *Server) claimSeq(clientID string, seq uint64) (fresh bool, last uint64) {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	last = s.lastSeq[clientID]
+	if seq <= last {
+		return false, last
+	}
+	s.lastSeq[clientID] = seq
+	return true, seq
+}
+
+// ackedSeq returns the cumulative ack value for a client.
+func (s *Server) ackedSeq(clientID string) uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	return s.lastSeq[clientID]
+}
+
 // jsonRows converts query rows into JSON-safe values (durations become
 // nanosecond integers).
 func jsonRows(rows [][]any) [][]any {
@@ -261,9 +369,11 @@ func jsonRows(rows [][]any) [][]any {
 	return out
 }
 
-// Client is a typed connection to a Server.
+// Client is a typed connection to a Server. For a client that survives
+// connection loss, see ReliableClient.
 type Client struct {
 	conn net.Conn
+	wmu  sync.Mutex // serializes writes (user calls vs keepalive pongs)
 	enc  *json.Encoder
 	dec  *json.Decoder
 
@@ -312,6 +422,8 @@ func (c *Client) readLoop() {
 			if cb != nil {
 				cb(m)
 			}
+		case "ping":
+			_ = c.write(Message{Type: "pong"})
 		case "result", "error":
 			select {
 			case c.result <- m:
@@ -326,19 +438,25 @@ func (c *Client) readLoop() {
 	}
 }
 
+func (c *Client) write(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
 // Send streams one observation.
 func (c *Client) Send(reader, object string, at time.Duration) error {
-	return c.enc.Encode(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+	return c.write(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
 }
 
 // Advance moves the server's virtual clock forward.
 func (c *Client) Advance(at time.Duration) error {
-	return c.enc.Encode(Message{Type: "advance", AtNS: int64(at)})
+	return c.write(Message{Type: "advance", AtNS: int64(at)})
 }
 
 // Query runs SQL on the server's data store.
 func (c *Client) Query(sql string) ([]string, [][]any, error) {
-	if err := c.enc.Encode(Message{Type: "query", SQL: sql}); err != nil {
+	if err := c.write(Message{Type: "query", SQL: sql}); err != nil {
 		return nil, nil, err
 	}
 	m, ok := <-c.result
@@ -360,7 +478,7 @@ func (c *Client) Firings() []Message {
 
 // Close ends the feed gracefully and returns the server's stats.
 func (c *Client) Close() (Message, error) {
-	if err := c.enc.Encode(Message{Type: "bye"}); err != nil {
+	if err := c.write(Message{Type: "bye"}); err != nil {
 		c.conn.Close()
 		return Message{}, err
 	}

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/json"
 	"net"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -228,6 +230,45 @@ func TestWireReorderAndDedupStages(t *testing.T) {
 	// 4 sent, 1 deduplicated → 3 ingested.
 	if stats.Observations != 3 {
 		t.Fatalf("observations after stages: %+v", stats)
+	}
+}
+
+// TestMessageZeroTimestampRoundTrip: an observation or firing at t=0 is
+// legitimate; its timestamp fields must survive JSON encoding instead of
+// being dropped by omitempty.
+func TestMessageZeroTimestampRoundTrip(t *testing.T) {
+	obs := Message{Type: "obs", Reader: "r1", Object: "o1", AtNS: 0}
+	b, err := json.Marshal(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"at_ns":0`) {
+		t.Fatalf("at_ns dropped at t=0: %s", b)
+	}
+	var back Message
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(obs, back) {
+		t.Fatalf("round trip drift: %+v vs %+v", obs, back)
+	}
+
+	fire := Message{Type: "fire", Rule: "r1", BeginNS: 0, EndNS: 0}
+	b, err = json.Marshal(fire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"begin_ns":0`, `"end_ns":0`} {
+		if !strings.Contains(string(b), field) {
+			t.Fatalf("%s dropped at t=0: %s", field, b)
+		}
+	}
+	var fireBack Message
+	if err := json.Unmarshal(b, &fireBack); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fire, fireBack) {
+		t.Fatalf("round trip drift: %+v vs %+v", fire, fireBack)
 	}
 }
 
