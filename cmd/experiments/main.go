@@ -7,6 +7,7 @@
 //	experiments fig8              pseudo-event walkthrough (paper §4.5)
 //	experiments fig9 [-quick]     processing time vs #events and vs #rules (paper §5)
 //	experiments ablation [-quick] sub-graph merging, ECA throughput, contexts
+//	experiments shard [-quick]    sharded engine throughput sweep (writes BENCH_shard.json)
 //	experiments all [-quick]      everything above
 package main
 
@@ -44,6 +45,8 @@ func main() {
 		fig9(*quick)
 	case "ablation":
 		ablation(*quick)
+	case "shard":
+		shardSweep(*quick)
 	case "graph":
 		graphDot()
 	case "all":
@@ -51,14 +54,43 @@ func main() {
 		fig8()
 		fig9(*quick)
 		ablation(*quick)
+		shardSweep(*quick)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|graph|all [-quick]")
+	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|shard|graph|all [-quick]")
 	os.Exit(2)
+}
+
+// shardSweep measures the sharded engine (internal/core/shard) against the
+// single engine on the supply-chain workload and writes BENCH_shard.json.
+func shardSweep(quick bool) {
+	// 400 rules ≈ 80 production lines × 5 rule families: the scale the
+	// sharded engine is built for — single-engine leaf probing grows with
+	// the total rule count while each shard's stays per-line constant.
+	events, nrules := 100_000, 400
+	if quick {
+		events, nrules = 10_000, 100
+	}
+	fmt.Println("=== Shard sweep: key-space partitioned engine vs single engine ===")
+	rep, err := bench.SweepShards([]int{1, 2, 4, 8}, events, nrules, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep.PrintTable(os.Stdout)
+	f, err := os.Create("BENCH_shard.json")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		panic(err)
+	}
+	fmt.Println("wrote BENCH_shard.json")
+	fmt.Println()
 }
 
 // graphDot prints the merged event graph for the paper's five rules in
@@ -121,8 +153,9 @@ func fig4() {
 	eng, err := detect.New(detect.Config{
 		Graph: b.Finalize(),
 		OnDetect: func(_ int, in *event.Instance) {
-			rcedaOut = append(rcedaOut, fmt.Sprintf("  %v items=%v case=%v",
-				in, in.Binds["o1"], in.Binds["o2"]))
+			items, _ := in.Binds.Get("o1")
+			cs, _ := in.Binds.Get("o2")
+			rcedaOut = append(rcedaOut, fmt.Sprintf("  %v items=%v case=%v", in, items, cs))
 		},
 	})
 	if err != nil {
@@ -230,9 +263,12 @@ func fig9(quick bool) {
 
 // ablation runs the A1–A3 experiments of DESIGN.md.
 func ablation(quick bool) {
-	events, nrules := 100_000, 100
+	// 400 rules ≈ 80 production lines × 5 rule families: the scale the
+	// sharded engine is built for — single-engine leaf probing grows with
+	// the total rule count while each shard's stays per-line constant.
+	events, nrules := 100_000, 400
 	if quick {
-		events, nrules = 10_000, 25
+		events, nrules = 10_000, 100
 	}
 
 	fmt.Println("=== A1: common sub-graph merging ===")

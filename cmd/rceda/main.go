@@ -34,6 +34,7 @@ func main() {
 		dump      = flag.String("dump", "", "comma-separated tables to dump at the end")
 		simTypes  = flag.Bool("simtypes", false, "resolve type(o) via the simulator's GID registry")
 		quiet     = flag.Bool("quiet", false, "suppress per-firing output")
+		shards    = flag.Int("shards", 1, "max parallel detection engines; rules partition by reader/group key space (1 = classic single engine)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -45,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := rcep.Config{Rules: string(script)}
+	cfg := rcep.Config{Rules: string(script), Shards: *shards}
 	if *simTypes {
 		cfg.TypeOf = sim.NewRegistry().TypeOf
 	}
@@ -85,7 +86,7 @@ func main() {
 		log.Printf("rule errors: %v", err)
 	}
 	m := eng.Metrics()
-	fmt.Printf("-- %d observations, %d detections, %d pseudo events\n", n, m.Detections, m.PseudoFired)
+	fmt.Printf("-- %d observations, %d detections, %d pseudo events, %d shard(s)\n", n, m.Detections, m.PseudoFired, eng.Shards())
 
 	for _, tbl := range strings.Split(*dump, ",") {
 		tbl = strings.TrimSpace(tbl)

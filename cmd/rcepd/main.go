@@ -36,6 +36,7 @@ func main() {
 		reorder   = flag.Duration("reorder", 0, "out-of-order tolerance across connections (0 = off)")
 		keepalive = flag.Duration("keepalive", 0, "keepalive ping interval; dead peers are reaped (0 = off)")
 		peerTO    = flag.Duration("peer-timeout", 0, "drop connections silent longer than this (0 = 3×keepalive)")
+		shards    = flag.Int("shards", 1, "max parallel detection engines; rules partition by reader/group key space (1 = classic single engine)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := rcep.Config{Rules: string(script)}
+	cfg := rcep.Config{Rules: string(script), Shards: *shards}
 	if *simTypes {
 		cfg.TypeOf = sim.NewRegistry().TypeOf
 	}
@@ -92,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("rcepd listening on %s with %s", l.Addr(), *rulesPath)
+	log.Printf("rcepd listening on %s with %s (%d detection shard(s))", l.Addr(), *rulesPath, srv.Engine().Shards())
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,111 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+)
+
+func seqWithin(l, r event.Expr, max time.Duration) event.Expr {
+	return &event.Within{X: &event.Seq{L: l, R: r}, Max: max}
+}
+
+// TestIngestBatchSortsInput: a batch may arrive in any internal order; the
+// engine sorts it (stably) before feeding, so detections come out as if the
+// observations had been ingested in timestamp order.
+func TestIngestBatchSortsInput(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{
+		1: seqWithin(prim("r1", "o", "t1"), prim("r2", "o", "t2"), 10*time.Second),
+	}, nil)
+	err := h.eng.IngestBatch([]event.Observation{
+		obs("r2", "a", 3), // completes the sequence, but sorts after r1@1
+		obs("r1", "a", 1),
+	})
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	h.eng.Close()
+	if len(h.sights) != 1 || h.sights[0].rule != 1 {
+		t.Fatalf("detections = %v, want one rule-1 firing", h.sights)
+	}
+}
+
+// TestIngestBatchAtomicOnStale pins the partial-failure contract: a batch
+// whose earliest observation precedes engine time is rejected as a whole —
+// no observation is applied, not even those individually newer than engine
+// time. (Since the batch is fed in sorted order and Ingest can only fail on
+// ordering, a mid-batch failure leaving an applied prefix is impossible.)
+func TestIngestBatchAtomicOnStale(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{
+		1: seqWithin(prim("r1", "o", "t1"), prim("r2", "o", "t2"), 10*time.Second),
+	}, nil)
+	h.feed(obs("r1", "a", 5))
+
+	// r2@6 would complete rule 1 if the batch were applied prefix-wise.
+	err := h.eng.IngestBatch([]event.Observation{obs("r2", "a", 6), obs("r1", "b", 2)})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("stale batch: err = %v, want ErrOutOfOrder", err)
+	}
+	if got := h.eng.Metrics().Observations; got != 1 {
+		t.Fatalf("Observations = %d after rejected batch, want 1", got)
+	}
+	if h.eng.Now() != ts(5) {
+		t.Fatalf("Now = %s after rejected batch, want 5s", h.eng.Now())
+	}
+	h.eng.Close()
+	if len(h.sights) != 0 {
+		t.Fatalf("rejected batch produced detections: %v", h.sights)
+	}
+}
+
+// TestIngestBatchEquivalentToIngest: chunked batch ingestion of a stream
+// produces exactly the detections of one-at-a-time ingestion.
+func TestIngestBatchEquivalentToIngest(t *testing.T) {
+	rules := map[int]event.Expr{
+		1: seqWithin(prim("r1", "o", "t1"), prim("r2", "o", "t2"), 10*time.Second),
+		2: seqWithin(prim("r2", "o", "t1"), prim("r3", "o", "t2"), 10*time.Second),
+	}
+	stream := []event.Observation{
+		obs("r1", "a", 1), obs("r2", "a", 2), obs("r3", "a", 3),
+		obs("r1", "b", 3), obs("r2", "b", 4), obs("r3", "b", 9),
+	}
+	one := newHarness(t, rules, nil)
+	one.feed(stream...)
+	one.eng.Close()
+
+	batched := newHarness(t, rules, nil)
+	if err := batched.eng.IngestBatch(stream[:4]); err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if err := batched.eng.IngestBatch(stream[4:]); err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	batched.eng.Close()
+
+	if len(one.sights) == 0 {
+		t.Fatalf("oracle run produced no detections")
+	}
+	if len(one.sights) != len(batched.sights) {
+		t.Fatalf("batched run: %d detections, one-at-a-time: %d", len(batched.sights), len(one.sights))
+	}
+	for i := range one.sights {
+		if one.sights[i].rule != batched.sights[i].rule ||
+			one.sights[i].inst.String() != batched.sights[i].inst.String() {
+			t.Fatalf("detection %d differs: %d %v vs %d %v", i,
+				batched.sights[i].rule, batched.sights[i].inst,
+				one.sights[i].rule, one.sights[i].inst)
+		}
+	}
+}
+
+func TestIngestBatchEmpty(t *testing.T) {
+	h := newHarness(t, map[int]event.Expr{
+		1: seqWithin(prim("r1", "o", "t1"), prim("r2", "o", "t2"), 10*time.Second),
+	}, nil)
+	defer h.eng.Close()
+	if err := h.eng.IngestBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -183,10 +183,10 @@ func projectBinds(binds event.Bindings, vars []string) event.Bindings {
 	if len(vars) == 0 {
 		return nil
 	}
-	out := make(event.Bindings, len(vars))
+	out := make(event.Bindings, 0, len(vars))
 	for _, v := range vars {
-		if val, ok := binds[v]; ok {
-			out[v] = val
+		if val, ok := binds.Get(v); ok {
+			out = out.Set(v, val)
 		}
 	}
 	return out

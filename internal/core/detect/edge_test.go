@@ -41,7 +41,7 @@ func TestSeqOverAnd(t *testing.T) {
 	if in.Begin != ts(1) || in.End != ts(5) {
 		t.Errorf("span: %v", in)
 	}
-	if in.Binds["o1"].Str() != "a" || in.Binds["o2"].Str() != "b" || in.Binds["o3"].Str() != "c" {
+	if in.Binds.Val("o1").Str() != "a" || in.Binds.Val("o2").Str() != "b" || in.Binds.Val("o3").Str() != "c" {
 		t.Errorf("bindings: %v", in.Binds)
 	}
 }
@@ -187,8 +187,8 @@ func TestTSeqPlusBoundaryDistances(t *testing.T) {
 	if len(h.sights) != 1 {
 		t.Fatalf("first run should have closed: %v", h.sights)
 	}
-	if h.sights[0].inst.Binds["o"].Len() != 2 {
-		t.Errorf("first run must contain a and b: %v", h.sights[0].inst.Binds["o"])
+	if h.sights[0].inst.Binds.Val("o").Len() != 2 {
+		t.Errorf("first run must contain a and b: %v", h.sights[0].inst.Binds.Val("o"))
 	}
 	h.eng.Close()
 	if len(h.sights) != 2 {
@@ -231,7 +231,7 @@ func TestChronicleTieBreakByArrival(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("detections: %d", len(got))
 	}
-	if got[0].inst.Binds["o1"].Str() != "first" || got[1].inst.Binds["o1"].Str() != "second" {
+	if got[0].inst.Binds.Val("o1").Str() != "first" || got[1].inst.Binds.Val("o1").Str() != "second" {
 		t.Errorf("tie-break order: %v, %v", got[0].inst.Binds, got[1].inst.Binds)
 	}
 }
@@ -329,7 +329,7 @@ func TestSeqWithMixedTerminator(t *testing.T) {
 	if in.Begin != ts(1) || in.End != ts(15) {
 		t.Errorf("span: %v", in)
 	}
-	if in.Binds["o0"].Str() != "start" || in.Binds["o1"].Str() != "go" {
+	if in.Binds.Val("o0").Str() != "start" || in.Binds.Val("o1").Str() != "go" {
 		t.Errorf("bindings: %v", in.Binds)
 	}
 	// Blocked variant: an E2 lands inside the window.

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	pctx "rcep/internal/core/context"
@@ -321,6 +322,30 @@ func (e *Engine) matchAndEmit(prim *graph.Node, obs event.Observation) {
 	e.emit(prim, inst)
 }
 
+// IngestBatch stably sorts a copy of the batch by timestamp and feeds it.
+// The call is atomic with respect to ordering failures: if the earliest
+// observation in the batch precedes the engine's current time, IngestBatch
+// returns ErrOutOfOrder and NO observation is applied. (Ingest can fail
+// only on ordering, and every later observation in the sorted batch is ≥
+// the first, so a mid-batch failure is impossible — the historical
+// "applied prefix" state cannot occur.)
+func (e *Engine) IngestBatch(batch []event.Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	sorted := append([]event.Observation(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	if e.now != event.MinTime && sorted[0].At < e.now {
+		return fmt.Errorf("%w: batch starts at %s, engine at %s", ErrOutOfOrder, sorted[0].At, e.now)
+	}
+	for _, o := range sorted {
+		if err := e.Ingest(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // AdvanceTo moves virtual time forward to t with no intervening
 // observations, firing every pseudo event scheduled at or before t. Call
 // it when the source is idle so negation windows can expire.
@@ -329,6 +354,22 @@ func (e *Engine) AdvanceTo(t event.Time) error {
 		return fmt.Errorf("%w: AdvanceTo(%s), engine at %s", ErrOutOfOrder, t, e.now)
 	}
 	e.drainPseudo(t, false)
+	e.now = t
+	return nil
+}
+
+// AdvanceBefore moves virtual time forward to t, firing only the pseudo
+// events scheduled strictly before t — exactly the catch-up Ingest performs
+// ahead of an observation at t. Pseudo events scheduled at t itself stay
+// pending, because an observation at exactly t may still arrive and affect
+// them (extend an aperiodic sequence, fall inside a negation window).
+// Sharded routing uses it to bring idle shards up to the router's clock
+// without changing what a single engine would have fired.
+func (e *Engine) AdvanceBefore(t event.Time) error {
+	if t < e.now {
+		return fmt.Errorf("%w: AdvanceBefore(%s), engine at %s", ErrOutOfOrder, t, e.now)
+	}
+	e.drainPseudo(t, true)
 	e.now = t
 	return nil
 }
@@ -403,15 +444,15 @@ func (e *Engine) matchPrim(n *graph.Node, obs event.Observation) (event.Bindings
 			return nil, false
 		}
 	}
-	binds := make(event.Bindings, 3)
+	binds := make(event.Bindings, 0, 3)
 	if p.Reader.IsVar() {
-		binds[p.Reader.Var] = event.StringValue(obs.Reader)
+		binds = binds.Set(p.Reader.Var, event.StringValue(obs.Reader))
 	}
 	if p.Object.IsVar() {
-		binds[p.Object.Var] = event.StringValue(obs.Object)
+		binds = binds.Set(p.Object.Var, event.StringValue(obs.Object))
 	}
 	if p.At.IsVar() {
-		binds[p.At.Var] = event.TimeValue(obs.At)
+		binds = binds.Set(p.At.Var, event.TimeValue(obs.At))
 	}
 	return binds, true
 }

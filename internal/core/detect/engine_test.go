@@ -100,7 +100,7 @@ func TestPrimitiveRuleFires(t *testing.T) {
 		t.Fatalf("detections = %d, want 2", len(got))
 	}
 	in := got[0].inst
-	if in.Binds["r"].Str() != "r1" || in.Binds["o"].Str() != "o1" || in.Binds["t"].Time() != ts(1) {
+	if in.Binds.Val("r").Str() != "r1" || in.Binds.Val("o").Str() != "o1" || in.Binds.Val("t").Time() != ts(1) {
 		t.Errorf("bindings wrong: %v", in.Binds)
 	}
 	if in.Begin != ts(1) || in.End != ts(1) {
@@ -124,7 +124,7 @@ func TestPrimitiveTypePredicate(t *testing.T) {
 		c.TypeOf = func(o string) string { return types[o] }
 	})
 	got := h.run(obs("r1", "L1", 1), obs("r1", "P1", 2))
-	if len(got) != 1 || got[0].inst.Binds["o"].Str() != "L1" {
+	if len(got) != 1 || got[0].inst.Binds.Val("o").Str() != "L1" {
 		t.Fatalf("type predicate failed: %v", got)
 	}
 }
@@ -148,7 +148,7 @@ func TestDefaultGroupIsReaderItself(t *testing.T) {
 		1: primVars("r", "o", "t", event.Pred{Fn: "group", Arg: "r", Op: event.CmpEq, Val: "r7"}),
 	}, nil)
 	got := h.run(obs("r7", "x", 1), obs("r8", "y", 2))
-	if len(got) != 1 || got[0].inst.Binds["r"].Str() != "r7" {
+	if len(got) != 1 || got[0].inst.Binds.Val("r").Str() != "r7" {
 		t.Fatalf("default group: %v", got)
 	}
 }
@@ -175,7 +175,7 @@ func TestAndConjunction(t *testing.T) {
 	if in.Begin != ts(1) || in.End != ts(5) {
 		t.Errorf("AND span = [%v, %v], want [1s, 5s]", in.Begin, in.End)
 	}
-	if in.Binds["o1"].Str() != "a" || in.Binds["o2"].Str() != "b" {
+	if in.Binds.Val("o1").Str() != "a" || in.Binds.Val("o2").Str() != "b" {
 		t.Errorf("AND bindings: %v", in.Binds)
 	}
 }
@@ -189,7 +189,7 @@ func TestAndWithinConstraint(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("AND within: got %d, want 1", len(got))
 	}
-	if got[0].inst.Binds["o1"].Str() != "c" {
+	if got[0].inst.Binds.Val("o1").Str() != "c" {
 		t.Errorf("wrong pairing: %v", got[0].inst.Binds)
 	}
 }
@@ -204,7 +204,7 @@ func TestSeqOrdering(t *testing.T) {
 		t.Fatalf("SEQ: got %d, want 1", len(got))
 	}
 	in := got[0].inst
-	if in.Binds["o1"].Str() != "a" || in.Binds["o2"].Str() != "y" {
+	if in.Binds.Val("o1").Str() != "a" || in.Binds.Val("o2").Str() != "y" {
 		t.Errorf("SEQ pairing: %v", in.Binds)
 	}
 	if in.Begin != ts(2) || in.End != ts(3) {
@@ -237,7 +237,7 @@ func TestTSeqDistanceBounds(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("TSEQ: got %d, want 1: %v", len(got), got)
 	}
-	if got[0].inst.Binds["o1"].Str() != "b" || got[0].inst.Binds["o2"].Str() != "z" {
+	if got[0].inst.Binds.Val("o1").Str() != "b" || got[0].inst.Binds.Val("o2").Str() != "z" {
 		t.Errorf("TSEQ pairing: %v", got[0].inst.Binds)
 	}
 }
@@ -262,7 +262,7 @@ func TestSeqJoinOnSharedVariables(t *testing.T) {
 		t.Fatalf("dup rule: got %d, want 1: %v", len(got), got)
 	}
 	in := got[0].inst
-	if in.Binds["t1"].Time() != ts(0) || in.Binds["t2"].Time() != ts(3) {
+	if in.Binds.Val("t1").Time() != ts(0) || in.Binds.Val("t2").Time() != ts(3) {
 		t.Errorf("dup pairing: %v", in.Binds)
 	}
 }
@@ -277,10 +277,10 @@ func TestChronicleOverlappingSequences(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("chronicle: got %d, want 2", len(got))
 	}
-	if got[0].inst.Binds["o1"].Str() != "a1" || got[0].inst.Binds["o2"].Str() != "b1" {
+	if got[0].inst.Binds.Val("o1").Str() != "a1" || got[0].inst.Binds.Val("o2").Str() != "b1" {
 		t.Errorf("first pairing: %v", got[0].inst.Binds)
 	}
-	if got[1].inst.Binds["o1"].Str() != "a2" || got[1].inst.Binds["o2"].Str() != "b2" {
+	if got[1].inst.Binds.Val("o1").Str() != "a2" || got[1].inst.Binds.Val("o2").Str() != "b2" {
 		t.Errorf("second pairing: %v", got[1].inst.Binds)
 	}
 }
@@ -307,7 +307,7 @@ func TestFig4CorrectDetection(t *testing.T) {
 	first, second := got[0].inst, got[1].inst
 	wantList := func(in *event.Instance, items ...string) {
 		t.Helper()
-		l := in.Binds["o1"]
+		l := in.Binds.Val("o1")
 		if l.Kind() != event.KindList || l.Len() != len(items) {
 			t.Fatalf("o1 = %v, want list %v", l, items)
 		}
@@ -318,15 +318,15 @@ func TestFig4CorrectDetection(t *testing.T) {
 		}
 	}
 	wantList(first, "i1", "i2", "i3")
-	if first.Binds["o2"].Str() != "c1" {
-		t.Errorf("first terminator: %v", first.Binds["o2"])
+	if first.Binds.Val("o2").Str() != "c1" {
+		t.Errorf("first terminator: %v", first.Binds.Val("o2"))
 	}
 	if first.Begin != ts(1) || first.End != ts(12) {
 		t.Errorf("first span: %v", first)
 	}
 	wantList(second, "i5", "i6", "i7")
-	if second.Binds["o2"].Str() != "c2" {
-		t.Errorf("second terminator: %v", second.Binds["o2"])
+	if second.Binds.Val("o2").Str() != "c2" {
+		t.Errorf("second terminator: %v", second.Binds.Val("o2"))
 	}
 }
 
@@ -354,7 +354,7 @@ func TestFig8PseudoEventDetection(t *testing.T) {
 	if in.Begin != ts(20) || in.End != ts(30) {
 		t.Errorf("Fig8 span = [%v, %v], want [20s, 30s]", in.Begin, in.End)
 	}
-	if in.Binds["o1"].Str() != "L2" {
+	if in.Binds.Val("o1").Str() != "L2" {
 		t.Errorf("Fig8 bindings: %v", in.Binds)
 	}
 }
@@ -423,8 +423,8 @@ func TestInfieldRule(t *testing.T) {
 	}
 	wantTimes := []event.Time{ts(0), ts(25), ts(60)}
 	for i, d := range got {
-		if d.inst.Binds["t2"].Time() != wantTimes[i] {
-			t.Errorf("infield %d at %v, want %v", i, d.inst.Binds["t2"].Time(), wantTimes[i])
+		if d.inst.Binds.Val("t2").Time() != wantTimes[i] {
+			t.Errorf("infield %d at %v, want %v", i, d.inst.Binds.Val("t2").Time(), wantTimes[i])
 		}
 	}
 }
@@ -451,8 +451,8 @@ func TestOutfieldRule(t *testing.T) {
 	if in.End != ts(70) {
 		t.Errorf("outfield completes at %v, want 70s", in.End)
 	}
-	if in.Binds["t1"].Time() != ts(40) {
-		t.Errorf("outfield anchored at %v, want last sighting 40s", in.Binds["t1"].Time())
+	if in.Binds.Val("t1").Time() != ts(40) {
+		t.Errorf("outfield anchored at %v, want last sighting 40s", in.Binds.Val("t1").Time())
 	}
 }
 
@@ -469,7 +469,7 @@ func TestTSeqPlusRootClosesViaPseudo(t *testing.T) {
 		t.Fatalf("first run should have closed: %d", len(h.sights))
 	}
 	in := h.sights[0].inst
-	if l := in.Binds["o"]; l.Len() != 3 || l.Elem(0).Str() != "a" || l.Elem(2).Str() != "c" {
+	if l := in.Binds.Val("o"); l.Len() != 3 || l.Elem(0).Str() != "a" || l.Elem(2).Str() != "c" {
 		t.Errorf("first run list: %v", l)
 	}
 	if in.Begin != ts(1) || in.End != ts(2.2) {
@@ -531,7 +531,7 @@ func TestSeqPlusPullInitiator(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("SEQ+ pull: got %d, want 1: %v", len(got), got)
 	}
-	l := got[0].inst.Binds["o1"]
+	l := got[0].inst.Binds.Val("o1")
 	if l.Len() != 3 {
 		t.Errorf("SEQ+ should aggregate all 3 items in window: %v", l)
 	}
@@ -623,7 +623,7 @@ func TestContexts(t *testing.T) {
 	pairs := func(ds []detection) []string {
 		var out []string
 		for _, d := range ds {
-			out = append(out, d.inst.Binds["o1"].String()+"+"+d.inst.Binds["o2"].String())
+			out = append(out, d.inst.Binds.Val("o1").String()+"+"+d.inst.Binds.Val("o2").String())
 		}
 		return out
 	}
@@ -681,12 +681,12 @@ func TestRule4ContainmentPattern(t *testing.T) {
 		t.Fatalf("containment: got %d, want 1: %v", len(got), got)
 	}
 	in := got[0].inst
-	items := in.Binds["o1"]
+	items := in.Binds.Val("o1")
 	if items.Len() != 3 {
 		t.Fatalf("items: %v", items)
 	}
-	if in.Binds["o2"].Str() != "case1" {
-		t.Errorf("case: %v", in.Binds["o2"])
+	if in.Binds.Val("o2").Str() != "case1" {
+		t.Errorf("case: %v", in.Binds.Val("o2"))
 	}
 	// BULK INSERT semantics downstream rely on ordered lists.
 	for i, want := range []string{"item1", "item2", "item3"} {

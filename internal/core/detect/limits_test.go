@@ -64,7 +64,7 @@ func TestBufferCapEvictsOldest(t *testing.T) {
 	}
 	_ = eng2.Ingest(obs("rB", "y", 200))
 	got = *sights
-	if len(got) != 1 || got[0].inst.Binds["t1"].Time() != ts(90) {
+	if len(got) != 1 || got[0].inst.Binds.Val("t1").Time() != ts(90) {
 		t.Fatalf("pairing after eviction: %v", got)
 	}
 }

@@ -50,8 +50,8 @@ func TestPropertyTSeqConstraints(t *testing.T) {
 		usedInit := map[event.Time]int{}
 		usedTerm := map[event.Time]int{}
 		for _, d := range got {
-			t1 := d.inst.Binds["t1"].Time()
-			t2 := d.inst.Binds["t2"].Time()
+			t1 := d.inst.Binds.Val("t1").Time()
+			t2 := d.inst.Binds.Val("t2").Time()
 			dist := t2.Sub(t1)
 			if dist < lo || dist > hi {
 				t.Logf("seed %d: distance %v outside [%v,%v]", seed, dist, lo, hi)
@@ -128,9 +128,9 @@ func TestPropertyTSeqChronicleOracle(t *testing.T) {
 			return false
 		}
 		for i, d := range got {
-			if d.inst.Binds["t1"].Time() != want[i].t1 || d.inst.Binds["t2"].Time() != want[i].t2 {
+			if d.inst.Binds.Val("t1").Time() != want[i].t1 || d.inst.Binds.Val("t2").Time() != want[i].t2 {
 				t.Logf("seed %d: detection %d = (%v,%v), oracle (%v,%v)", seed, i,
-					d.inst.Binds["t1"].Time(), d.inst.Binds["t2"].Time(), want[i].t1, want[i].t2)
+					d.inst.Binds.Val("t1").Time(), d.inst.Binds.Val("t2").Time(), want[i].t1, want[i].t2)
 				return false
 			}
 		}
@@ -235,7 +235,7 @@ func TestPropertyTSeqPlusMaximalRuns(t *testing.T) {
 			return false
 		}
 		for i, d := range got {
-			tl := d.inst.Binds["t"]
+			tl := d.inst.Binds.Val("t")
 			if tl.Len() != len(runs[i]) {
 				t.Logf("seed %d: run %d has %d elems, oracle %d", seed, i, tl.Len(), len(runs[i]))
 				return false

@@ -154,9 +154,9 @@ func TestParseScalar(t *testing.T) {
 }
 
 func TestBindingsCompatibleAndMerge(t *testing.T) {
-	a := Bindings{"r": StringValue("r1"), "o": StringValue("o1")}
-	b := Bindings{"r": StringValue("r1"), "t": TimeValue(ts(5))}
-	c := Bindings{"r": StringValue("r2")}
+	a := MakeBindings(map[string]Value{"r": StringValue("r1"), "o": StringValue("o1")})
+	b := MakeBindings(map[string]Value{"r": StringValue("r1"), "t": TimeValue(ts(5))})
+	c := MakeBindings(map[string]Value{"r": StringValue("r2")})
 	if !a.Compatible(b) {
 		t.Errorf("a and b should be compatible")
 	}
@@ -164,11 +164,11 @@ func TestBindingsCompatibleAndMerge(t *testing.T) {
 		t.Errorf("a and c should be incompatible")
 	}
 	m := a.Merge(b)
-	if len(m) != 3 || m["t"].Time() != ts(5) || m["o"].Str() != "o1" {
+	if len(m) != 3 || m.Val("t").Time() != ts(5) || m.Val("o").Str() != "o1" {
 		t.Errorf("merge wrong: %v", m)
 	}
 	// Merge must not mutate a.
-	if _, ok := a["t"]; ok {
+	if _, ok := a.Get("t"); ok {
 		t.Errorf("Merge mutated receiver")
 	}
 	var nilB Bindings
@@ -181,16 +181,16 @@ func TestBindingsCompatibleAndMerge(t *testing.T) {
 }
 
 func TestBindingsProject(t *testing.T) {
-	a := Bindings{"r": StringValue("r1"), "o": StringValue("o1")}
+	a := MakeBindings(map[string]Value{"r": StringValue("r1"), "o": StringValue("o1")})
 	k1, ok := a.Project([]string{"r"})
 	if !ok || k1 == "" {
 		t.Errorf("project with keys should be ok")
 	}
-	k2, _ := Bindings{"r": StringValue("r1"), "o": StringValue("oX")}.Project([]string{"r"})
+	k2, _ := MakeBindings(map[string]Value{"r": StringValue("r1"), "o": StringValue("oX")}).Project([]string{"r"})
 	if k1 != k2 {
 		t.Errorf("same projection should produce same key")
 	}
-	k3, _ := Bindings{"r": StringValue("r2")}.Project([]string{"r"})
+	k3, _ := MakeBindings(map[string]Value{"r": StringValue("r2")}).Project([]string{"r"})
 	if k1 == k3 {
 		t.Errorf("different projection should differ")
 	}
@@ -201,16 +201,16 @@ func TestBindingsProject(t *testing.T) {
 
 func TestCollectLists(t *testing.T) {
 	elems := []Bindings{
-		{"o": StringValue("o1"), "t": TimeValue(ts(1))},
-		{"o": StringValue("o2"), "t": TimeValue(ts(2))},
-		{"o": StringValue("o3")},
+		MakeBindings(map[string]Value{"o": StringValue("o1"), "t": TimeValue(ts(1))}),
+		MakeBindings(map[string]Value{"o": StringValue("o2"), "t": TimeValue(ts(2))}),
+		MakeBindings(map[string]Value{"o": StringValue("o3")}),
 	}
 	got := CollectLists(elems)
-	ov := got["o"]
+	ov := got.Val("o")
 	if ov.Kind() != KindList || ov.Len() != 3 || ov.Elem(2).Str() != "o3" {
 		t.Errorf("o list wrong: %v", ov)
 	}
-	tv := got["t"]
+	tv := got.Val("t")
 	if tv.Len() != 3 || !tv.Elem(2).IsNull() {
 		t.Errorf("t list should pad with null: %v", tv)
 	}

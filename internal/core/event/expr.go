@@ -2,6 +2,7 @@ package event
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -264,9 +265,10 @@ func ExprVars(e Expr) []string {
 		}
 		return true
 	})
-	b := make(Bindings, len(set))
+	vars := make([]string, 0, len(set))
 	for k := range set {
-		b[k] = Null
+		vars = append(vars, k)
 	}
-	return b.Vars()
+	sort.Strings(vars)
+	return vars
 }

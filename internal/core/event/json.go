@@ -45,6 +45,47 @@ func (v Value) MarshalJSON() ([]byte, error) {
 	return nil, fmt.Errorf("event: cannot marshal value kind %v", v.kind)
 }
 
+// MarshalJSON renders bindings as a JSON object, byte-identical to the
+// former map[string]Value representation (Go sorts map keys; the slice is
+// already sorted), so checkpoints and snapshots keep their format.
+func (b Bindings) MarshalJSON() ([]byte, error) {
+	if b == nil {
+		return []byte("null"), nil
+	}
+	buf := []byte{'{'}
+	for i, kv := range b {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		k, err := json.Marshal(kv.Var)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(kv.Val)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, k...)
+		buf = append(buf, ':')
+		buf = append(buf, v...)
+	}
+	return append(buf, '}'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *Bindings) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*b = nil
+		return nil
+	}
+	var m map[string]Value
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("event: bad bindings JSON: %w", err)
+	}
+	*b = MakeBindings(m)
+	return nil
+}
+
 // UnmarshalJSON implements json.Unmarshaler.
 func (v *Value) UnmarshalJSON(data []byte) error {
 	if string(data) == "null" {

@@ -64,12 +64,12 @@ func TestValueJSONRoundTripProperty(t *testing.T) {
 }
 
 func TestBindingsJSONRoundTrip(t *testing.T) {
-	b := Bindings{
+	b := MakeBindings(map[string]Value{
 		"o":  StringValue("obj1"),
 		"t":  TimeValue(ts(5)),
 		"n":  IntValue(7),
 		"ls": ListValue([]Value{StringValue("a"), Null}),
-	}
+	})
 	data, err := json.Marshal(b)
 	if err != nil {
 		t.Fatal(err)
@@ -81,9 +81,9 @@ func TestBindingsJSONRoundTrip(t *testing.T) {
 	if len(got) != len(b) {
 		t.Fatalf("round trip: %v", got)
 	}
-	for k, v := range b {
-		if !got[k].Equal(v) {
-			t.Errorf("binding %s: %v != %v", k, got[k], v)
+	for _, kv := range b {
+		if !got.Val(kv.Var).Equal(kv.Val) {
+			t.Errorf("binding %s: %v != %v", kv.Var, got.Val(kv.Var), kv.Val)
 		}
 	}
 }

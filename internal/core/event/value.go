@@ -219,9 +219,71 @@ func (v Value) String() string {
 	return "?"
 }
 
-// Bindings maps rule variables to values. Scalar bindings come from single
-// observations; list bindings from aggregating sequence constructors.
-type Bindings map[string]Value
+// Binding is one variable→value pair in a Bindings set.
+type Binding struct {
+	Var string
+	Val Value
+}
+
+// Bindings is a small ordered set of variable bindings, kept sorted by
+// variable name. Scalar bindings come from single observations; list
+// bindings from aggregating sequence constructors.
+//
+// The sorted-slice representation replaces an earlier map: detection
+// allocates one Bindings per primitive match, and at the typical two to
+// four variables a slice costs a single allocation while Compatible/Merge
+// run as linear merges with no hashing. The zero value is the empty set;
+// build with Set (which returns the updated slice, like append) or
+// MakeBindings, read with Get.
+type Bindings []Binding
+
+// Get returns the value bound to k.
+func (b Bindings) Get(k string) (Value, bool) {
+	for _, kv := range b {
+		if kv.Var == k {
+			return kv.Val, true
+		}
+		if kv.Var > k {
+			break
+		}
+	}
+	return Value{}, false
+}
+
+// Val returns the value bound to k, or Null when unbound.
+func (b Bindings) Val(k string) Value {
+	v, _ := b.Get(k)
+	return v
+}
+
+// Set binds k to v, keeping the set sorted, and returns the updated slice
+// (append semantics: the caller must use the return value).
+func (b Bindings) Set(k string, v Value) Bindings {
+	i := 0
+	for i < len(b) && b[i].Var < k {
+		i++
+	}
+	if i < len(b) && b[i].Var == k {
+		b[i].Val = v
+		return b
+	}
+	b = append(b, Binding{})
+	copy(b[i+1:], b[i:])
+	b[i] = Binding{Var: k, Val: v}
+	return b
+}
+
+// MakeBindings builds a Bindings set from a map literal.
+func MakeBindings(m map[string]Value) Bindings {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(Bindings, 0, len(m))
+	for k, v := range m {
+		out = out.Set(k, v)
+	}
+	return out
+}
 
 // Clone returns a shallow copy of b (list payloads are shared, which is
 // safe because values are immutable once bound).
@@ -229,23 +291,25 @@ func (b Bindings) Clone() Bindings {
 	if b == nil {
 		return nil
 	}
-	c := make(Bindings, len(b))
-	for k, v := range b {
-		c[k] = v
-	}
-	return c
+	return append(make(Bindings, 0, len(b)), b...)
 }
 
 // Compatible reports whether b and o agree on every variable they share.
 // List-valued bindings are compared by deep equality.
 func (b Bindings) Compatible(o Bindings) bool {
-	small, large := b, o
-	if len(large) < len(small) {
-		small, large = large, small
-	}
-	for k, v := range small {
-		if w, ok := large[k]; ok && !v.Equal(w) {
-			return false
+	i, j := 0, 0
+	for i < len(b) && j < len(o) {
+		switch {
+		case b[i].Var < o[j].Var:
+			i++
+		case b[i].Var > o[j].Var:
+			j++
+		default:
+			if !b[i].Val.Equal(o[j].Val) {
+				return false
+			}
+			i++
+			j++
 		}
 	}
 	return true
@@ -257,9 +321,30 @@ func (b Bindings) Merge(o Bindings) Bindings {
 	if len(b) == 0 {
 		return o.Clone()
 	}
-	m := b.Clone()
-	for k, v := range o {
-		m[k] = v
+	if len(o) == 0 {
+		return b.Clone()
+	}
+	m := make(Bindings, 0, len(b)+len(o))
+	i, j := 0, 0
+	for i < len(b) || j < len(o) {
+		switch {
+		case j >= len(o):
+			m = append(m, b[i])
+			i++
+		case i >= len(b):
+			m = append(m, o[j])
+			j++
+		case b[i].Var < o[j].Var:
+			m = append(m, b[i])
+			i++
+		case b[i].Var > o[j].Var:
+			m = append(m, o[j])
+			j++
+		default:
+			m = append(m, o[j])
+			i++
+			j++
+		}
 	}
 	return m
 }
@@ -274,7 +359,8 @@ func (b Bindings) Project(keys []string) (string, bool) {
 	}
 	var sb strings.Builder
 	for _, k := range keys {
-		sb.WriteString(b[k].String())
+		v, _ := b.Get(k)
+		sb.WriteString(v.String())
 		sb.WriteByte('\x00')
 	}
 	return sb.String(), true
@@ -282,11 +368,10 @@ func (b Bindings) Project(keys []string) (string, bool) {
 
 // Vars returns the sorted variable names bound in b.
 func (b Bindings) Vars() []string {
-	vars := make([]string, 0, len(b))
-	for k := range b {
-		vars = append(vars, k)
+	vars := make([]string, len(b))
+	for i, kv := range b {
+		vars[i] = kv.Var
 	}
-	sort.Strings(vars)
 	return vars
 }
 
@@ -295,10 +380,9 @@ func (b Bindings) String() string {
 	if len(b) == 0 {
 		return "{}"
 	}
-	vars := b.Vars()
-	parts := make([]string, len(vars))
-	for i, k := range vars {
-		parts[i] = k + "=" + b[k].String()
+	parts := make([]string, len(b))
+	for i, kv := range b {
+		parts[i] = kv.Var + "=" + kv.Val.String()
 	}
 	return "{" + strings.Join(parts, " ") + "}"
 }
@@ -311,19 +395,24 @@ func CollectLists(elems []Bindings) Bindings {
 	if len(elems) == 0 {
 		return nil
 	}
-	keys := map[string]struct{}{}
+	seen := map[string]bool{}
+	var keys []string
 	for _, e := range elems {
-		for k := range e {
-			keys[k] = struct{}{}
+		for _, kv := range e {
+			if !seen[kv.Var] {
+				seen[kv.Var] = true
+				keys = append(keys, kv.Var)
+			}
 		}
 	}
-	out := make(Bindings, len(keys))
-	for k := range keys {
+	sort.Strings(keys)
+	out := make(Bindings, 0, len(keys))
+	for _, k := range keys {
 		vals := make([]Value, len(elems))
 		for i, e := range elems {
-			vals[i] = e[k]
+			vals[i], _ = e.Get(k)
 		}
-		out[k] = ListValue(vals)
+		out = append(out, Binding{Var: k, Val: ListValue(vals)})
 	}
 	return out
 }

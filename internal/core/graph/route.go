@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"sort"
+
+	"rcep/internal/core/event"
+)
+
+// RouteKey summarizes which observations an event expression's leaves can
+// possibly match, projected onto the reader/group key space. It is the
+// static basis for shard routing (internal/core/shard): an observation
+// from reader r can only be matched by a leaf of the expression if
+//
+//   - r is one of Readers, or
+//   - some group of r is one of Groups, or
+//   - Wild is true.
+//
+// The projection is deliberately conservative: object literals and type
+// predicates are ignored (they further restrict matching but never widen
+// it), so routing on a RouteKey never skips an observation a leaf could
+// match.
+type RouteKey struct {
+	// Readers are the reader literals of the expression's leaves.
+	Readers []string
+
+	// Groups are the literals g of group(r) = 'g' equality predicates on
+	// leaves whose reader position is a variable: such a leaf matches
+	// only observations whose reader belongs to g.
+	Groups []string
+
+	// Wild is true when some leaf constrains the reader by neither a
+	// literal nor a group equality predicate — it can match observations
+	// from any reader.
+	Wild bool
+}
+
+// RouteKeyOf computes the RouteKey of an event expression.
+func RouteKeyOf(expr event.Expr) RouteKey {
+	readers := map[string]struct{}{}
+	groups := map[string]struct{}{}
+	wild := false
+	event.Walk(expr, func(x event.Expr) bool {
+		p, ok := x.(*event.Prim)
+		if !ok {
+			return true
+		}
+		if !p.Reader.IsVar() && p.Reader.Lit != "" {
+			readers[p.Reader.Lit] = struct{}{}
+			return true
+		}
+		// Variable or anonymous reader: a group(r) = 'g' equality
+		// predicate on the reader position still pins the key space.
+		// Any other predicate shape (inequality, type(o), plain
+		// comparisons) cannot be used to narrow the reader key, so the
+		// leaf is wild. Multiple group equalities all have to hold for
+		// the leaf to match; recording each is conservative for routing
+		// (a superset of the truly matchable observations is routed).
+		pinned := false
+		for _, pred := range p.Preds {
+			if pred.Fn != "group" || pred.Op != event.CmpEq {
+				continue
+			}
+			onReader := (p.Reader.IsVar() && pred.Arg == p.Reader.Var) ||
+				(!p.Reader.IsVar() && pred.Arg == "")
+			if onReader {
+				groups[pred.Val] = struct{}{}
+				pinned = true
+			}
+		}
+		if !pinned {
+			wild = true
+		}
+		return true
+	})
+	return RouteKey{Readers: sortedKeys(readers), Groups: sortedKeys(groups), Wild: wild}
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leaves returns the expression's primitive patterns in depth-first
+// pre-order. Shard routing tests use it to cross-check RouteKeyOf against
+// the engine's actual leaf matching.
+func Leaves(expr event.Expr) []*event.Prim {
+	var out []*event.Prim
+	event.Walk(expr, func(x event.Expr) bool {
+		if p, ok := x.(*event.Prim); ok {
+			out = append(out, p)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rcep/internal/core/event"
+)
+
+func newCollector(t *testing.T, rules []Rule, shards int, got *[]string) *Engine {
+	t.Helper()
+	eng, err := New(Config{
+		Rules:  rules,
+		Shards: shards,
+		Groups: genGroups,
+		TypeOf: genTypeOf,
+		OnDetect: func(rid int, inst *event.Instance) {
+			*got = append(*got, sig(rid, inst))
+		},
+		Batch:     3,
+		SyncEvery: 9,
+	})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	return eng
+}
+
+// TestCheckpointMidStreamEquivalence saves a checkpoint halfway through a
+// stream, restores it into a fresh engine and finishes the stream there;
+// the concatenated detection sequence must equal an uninterrupted run's.
+func TestCheckpointMidStreamEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rules := genRules(r, 3+r.Intn(8))
+		stream := genStream(r, 60+r.Intn(60))
+		cut := len(stream) / 2
+
+		var want []string
+		full := newCollector(t, rules, 4, &want)
+		for _, o := range stream {
+			if err := full.Ingest(o); err != nil {
+				t.Fatalf("full Ingest: %v", err)
+			}
+		}
+		full.Close()
+
+		var got []string
+		first := newCollector(t, rules, 4, &got)
+		for _, o := range stream[:cut] {
+			if err := first.Ingest(o); err != nil {
+				t.Fatalf("first-half Ingest: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := first.SaveCheckpoint(&buf); err != nil {
+			t.Fatalf("SaveCheckpoint: %v", err)
+		}
+		// Close fires the abandoned run's pseudo-event closures; the
+		// restored run produces those too, so drop anything Close delivers
+		// past the checkpoint barrier.
+		atCheckpoint := len(got)
+		first.Close()
+		got = got[:atCheckpoint]
+
+		second := newCollector(t, rules, 4, &got)
+		if err := second.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("RestoreCheckpoint: %v", err)
+		}
+		for _, o := range stream[cut:] {
+			if err := second.Ingest(o); err != nil {
+				t.Fatalf("second-half Ingest: %v", err)
+			}
+		}
+		second.Close()
+		if err := second.Err(); err != nil {
+			t.Fatalf("Err: %v", err)
+		}
+		diffStrings(t, "checkpointed sequence", want, got)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointShardCountMismatch(t *testing.T) {
+	// Four disjoint literal classes, so 4 requested shards really yields 4
+	// workers and 2 yields 2.
+	var rules []Rule
+	for i := 0; i < 4; i++ {
+		rd := genReaders[i]
+		rules = append(rules, Rule{ID: i + 1, Expr: seq(lit(rd, "o", "t1"), lit(rd, "o", "t2"), 5e9)})
+	}
+	var sink []string
+	a := newCollector(t, rules, 4, &sink)
+	defer a.Close()
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	b := newCollector(t, rules, 2, &sink)
+	defer b.Close()
+	err := b.RestoreCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("restore into different shard count: err = %v, want shard-count mismatch", err)
+	}
+}
+
+func TestCheckpointFormatGuard(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	rules := genRules(r, 4)
+	var sink []string
+	eng := newCollector(t, rules, 2, &sink)
+	defer eng.Close()
+	// A detect.Engine checkpoint has no "format" key; restoring it into a
+	// sharded engine must fail loudly, not corrupt state.
+	err := eng.RestoreCheckpoint(strings.NewReader(`{"now":0,"seq":0}`))
+	if err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("restore of single-engine checkpoint: err = %v, want format error", err)
+	}
+}
+
+func TestCheckpointRequiresFreshEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rules := genRules(r, 4)
+	stream := genStream(r, 10)
+	var sink []string
+	a := newCollector(t, rules, 2, &sink)
+	defer a.Close()
+	var buf bytes.Buffer
+	if err := a.SaveCheckpoint(&buf); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	b := newCollector(t, rules, 2, &sink)
+	defer b.Close()
+	if err := b.Ingest(stream[0]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := b.RestoreCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatalf("restore into non-fresh engine succeeded")
+	}
+}

@@ -1,0 +1,550 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	pctx "rcep/internal/core/context"
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// ErrClosed is returned by ingestion calls after Close.
+var ErrClosed = errors.New("shard: engine is closed")
+
+// Config configures a sharded engine. The detection-semantics fields
+// (Context, Groups, TypeOf, buffer caps, IndexPrimitives) mean exactly
+// what they do in detect.Config and are applied to every shard.
+type Config struct {
+	// Rules is the rule set to partition. IDs are the graph rule IDs
+	// reported to OnDetect and must be unique.
+	Rules []Rule
+
+	// Shards is the maximum number of detect.Engine workers; the
+	// partition may use fewer when the rule set has fewer independent
+	// key-space classes. Values < 1 mean 1.
+	Shards int
+
+	Context  pctx.Context
+	Groups   func(reader string) []string
+	TypeOf   func(object string) string
+	OnDetect func(ruleID int, inst *event.Instance)
+
+	IndexPrimitives    bool
+	MaxPartitionBuffer int
+	MaxHistory         int
+	MaxOpenSequence    int
+
+	// Buffer is the per-shard channel capacity in envelope batches
+	// (default 8); Batch is the number of envelopes per channel send
+	// (default 64). Larger batches amortize channel overhead, smaller
+	// ones reduce shard idle time on skewed fan-out.
+	Buffer int
+	Batch  int
+
+	// SyncEvery bounds how many ingested observations may pass between
+	// delivery barriers (default 4096). At a barrier the router waits
+	// for every shard to drain, merges the shards' detections into the
+	// deterministic global order and invokes OnDetect for each. Smaller
+	// values reduce detection latency; larger ones reduce the
+	// synchronization bubble.
+	SyncEvery int
+}
+
+// opKind discriminates worker envelopes.
+type opKind uint8
+
+const (
+	opObs     opKind = iota // deliver an observation to the shard engine
+	opAdvance               // AdvanceTo with no observation
+	opCatchUp               // AdvanceBefore: barrier pre-advance to the router's clock
+	opDrain                 // detect.Engine.Close: fire all pending pseudo events
+	opBarrier               // ack and quiesce until the next batch
+)
+
+// envelope is one unit of work shipped to a shard worker.
+type envelope struct {
+	op  opKind
+	obs event.Observation
+	at  event.Time
+	ack *sync.WaitGroup
+}
+
+// detRec is one detection captured on a worker, tagged for merging. fire
+// is the shard engine's virtual time at the OnDetect callback — the
+// observation timestamp for observation-triggered detections and the
+// scheduled execution time for pseudo-event detections — which is exactly
+// the virtual time a single engine would fire the same detection at.
+type detRec struct {
+	fire event.Time
+	rule int
+	seq  uint64 // worker-local arrival counter (same-rule tie order)
+	inst *event.Instance
+}
+
+// worker runs one detect.Engine on its own goroutine.
+type worker struct {
+	id   int
+	eng  *detect.Engine
+	ch   chan []envelope
+	done chan struct{}
+
+	// The fields below are owned by the worker goroutine between
+	// barriers; the router reads/resets them only after a barrier ack
+	// (the WaitGroup provides the happens-before edge).
+	seq  uint64
+	dets []detRec
+	err  error
+}
+
+func (w *worker) loop() {
+	defer close(w.done)
+	for batch := range w.ch {
+		for _, env := range batch {
+			switch env.op {
+			case opObs:
+				if w.err == nil {
+					if err := w.eng.Ingest(env.obs); err != nil {
+						w.err = fmt.Errorf("shard %d: %w", w.id, err)
+					}
+				}
+			case opAdvance:
+				// Close (opDrain) can move the shard clock past the
+				// router's; skipping a stale advance keeps it a no-op.
+				if w.err == nil && env.at > w.eng.Now() {
+					if err := w.eng.AdvanceTo(env.at); err != nil {
+						w.err = fmt.Errorf("shard %d: %w", w.id, err)
+					}
+				}
+			case opCatchUp:
+				// Barrier pre-advance: fire only pseudo events strictly
+				// before the router's clock. An observation at exactly
+				// env.at may still arrive after the barrier, so pseudo
+				// events due at env.at itself must stay pending — firing
+				// them here would diverge from a single engine.
+				if w.err == nil && env.at > w.eng.Now() {
+					if err := w.eng.AdvanceBefore(env.at); err != nil {
+						w.err = fmt.Errorf("shard %d: %w", w.id, err)
+					}
+				}
+			case opDrain:
+				w.eng.Close()
+			case opBarrier:
+				env.ack.Done()
+			}
+		}
+	}
+}
+
+// Engine shards a rule set across parallel detect.Engines behind the same
+// ingestion interface. Unlike detect.Engine it IS safe for concurrent
+// use: every public method may be called from any goroutine (calls
+// serialize on an internal mutex; shard workers run in parallel
+// underneath).
+//
+// Detections are delivered in batches at synchronization barriers
+// (every SyncEvery observations, and on Sync, Close, Metrics snapshots
+// and checkpoints), merged across shards into a deterministic order:
+// ascending by (firing virtual time, rule ID, shard-local arrival).
+// Every barrier first catches all shards up to the router's clock (firing
+// pseudo events due strictly before it — events due at the clock itself
+// may still be affected by an observation at that exact timestamp, so
+// they stay pending, exactly as in a single engine). A fire-time group is
+// delivered only once the clock has strictly passed it, so the group is
+// known complete and is sorted exactly once: the merged order depends on
+// neither the shard count nor where barriers fall in the stream. It is
+// the single engine's delivery order up to ties at identical virtual time
+// between distinct rules, which are normalized to rule-ID order; the
+// multiset of detections is always identical to a single engine's.
+// Detections at the current instant are held until time advances; Sync
+// and Close flush them unconditionally. OnDetect runs on the goroutine
+// that triggered the barrier, with the engine lock held — it must not
+// call back into the engine.
+type Engine struct {
+	part     *Partition
+	onDetect func(int, *event.Instance)
+
+	mu        sync.Mutex
+	router    *Router
+	workers   []*worker
+	pend      [][]envelope
+	batch     int
+	syncEvery int
+	sinceSync int
+
+	closed    bool
+	now       event.Time
+	idx       uint64
+	ingested  uint64
+	delivered uint64
+	err       error
+
+	// pending holds detections collected at barriers but not yet
+	// delivered: the fire-time group at the current instant, which may
+	// still grow until the clock strictly passes it.
+	pending []detRec
+}
+
+// New partitions the rules, builds one detect.Engine per shard and starts
+// the shard workers. The returned engine must be Closed to stop them.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Rules) == 0 {
+		return nil, errors.New("shard: Config.Rules is empty")
+	}
+	seen := map[int]bool{}
+	for _, r := range cfg.Rules {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("shard: duplicate rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	part := NewPartition(cfg.Rules, cfg.Shards, cfg.Groups)
+	e := &Engine{
+		part:      part,
+		onDetect:  cfg.OnDetect,
+		router:    NewRouter(part, cfg.Groups),
+		batch:     cfg.Batch,
+		syncEvery: cfg.SyncEvery,
+		now:       event.MinTime,
+	}
+	if e.onDetect == nil {
+		e.onDetect = func(int, *event.Instance) {}
+	}
+	if e.batch <= 0 {
+		e.batch = 64
+	}
+	if e.syncEvery <= 0 {
+		e.syncEvery = 4096
+	}
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = 8
+	}
+	e.workers = make([]*worker, part.NumShards())
+	e.pend = make([][]envelope, part.NumShards())
+	for s := 0; s < part.NumShards(); s++ {
+		b := graph.NewBuilder()
+		for _, r := range part.ByShard[s] {
+			if _, err := b.AddRule(r.ID, r.Expr); err != nil {
+				return nil, fmt.Errorf("shard: %w", err)
+			}
+		}
+		w := &worker{id: s, ch: make(chan []envelope, buffer), done: make(chan struct{})}
+		eng, err := detect.New(detect.Config{
+			Graph:   b.Finalize(),
+			Context: cfg.Context,
+			Groups:  cfg.Groups,
+			TypeOf:  cfg.TypeOf,
+			OnDetect: func(rid int, inst *event.Instance) {
+				w.seq++
+				w.dets = append(w.dets, detRec{
+					fire: w.eng.Now(), rule: rid, seq: w.seq, inst: inst,
+				})
+			},
+			IndexPrimitives:    cfg.IndexPrimitives,
+			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
+			MaxHistory:         cfg.MaxHistory,
+			MaxOpenSequence:    cfg.MaxOpenSequence,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		w.eng = eng
+		e.workers[s] = w
+		e.pend[s] = make([]envelope, 0, e.batch)
+	}
+	for _, w := range e.workers {
+		go w.loop()
+	}
+	return e, nil
+}
+
+// Partition exposes the rule-to-shard assignment (for tests, metrics and
+// diagnostics).
+func (e *Engine) Partition() *Partition { return e.part }
+
+// Shards returns the number of parallel detection engines.
+func (e *Engine) Shards() int { return len(e.workers) }
+
+// Now returns the router's current virtual time.
+func (e *Engine) Now() event.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Err returns the first shard failure, if any. The router pre-validates
+// timestamp ordering, so shard failures indicate a bug rather than bad
+// input.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// push queues an envelope for shard s, flushing a full batch.
+func (e *Engine) push(s int, env envelope) {
+	e.pend[s] = append(e.pend[s], env)
+	if len(e.pend[s]) >= e.batch {
+		e.flush(s)
+	}
+}
+
+// flush ships shard s's pending envelopes. The pending slice is handed
+// off, not reused: the worker owns it after the send.
+func (e *Engine) flush(s int) {
+	if len(e.pend[s]) == 0 {
+		return
+	}
+	batch := e.pend[s]
+	e.pend[s] = make([]envelope, 0, e.batch)
+	e.workers[s].ch <- batch
+}
+
+// Ingest feeds one observation, fanning it out to the shards whose leaf
+// key spaces can match it. Observations must arrive in non-decreasing
+// timestamp order, exactly as for detect.Engine.
+func (e *Engine) Ingest(o event.Observation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingestLocked(o)
+}
+
+// IngestBatch stably sorts a copy of the batch by timestamp and feeds it.
+// Like detect.Engine.IngestBatch the call is atomic with respect to
+// ordering failures: when the earliest observation precedes the engine's
+// current time, nothing is applied.
+func (e *Engine) IngestBatch(batch []event.Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	sorted := append([]event.Observation(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.now != event.MinTime && sorted[0].At < e.now {
+		return fmt.Errorf("%w: batch starts at %s, engine at %s", detect.ErrOutOfOrder, sorted[0].At, e.now)
+	}
+	for _, o := range sorted {
+		if err := e.ingestLocked(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) ingestLocked(o event.Observation) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if e.now != event.MinTime && o.At < e.now {
+		return fmt.Errorf("%w: got %s, engine at %s", detect.ErrOutOfOrder, o.At, e.now)
+	}
+	e.now = o.At
+	e.idx++
+	e.ingested++
+	env := envelope{op: opObs, obs: o}
+	for _, s := range e.router.ShardsFor(o.Reader) {
+		e.push(s, env)
+	}
+	e.sinceSync++
+	if e.sinceSync >= e.syncEvery {
+		return e.barrierLocked(true)
+	}
+	return nil
+}
+
+// AdvanceTo moves virtual time forward on every shard with no intervening
+// observations, so negation windows and sequence closures can expire.
+func (e *Engine) AdvanceTo(t event.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if t < e.now {
+		return fmt.Errorf("%w: AdvanceTo(%s), engine at %s", detect.ErrOutOfOrder, t, e.now)
+	}
+	e.now = t
+	e.idx++
+	env := envelope{op: opAdvance, at: t}
+	for s := range e.workers {
+		e.push(s, env)
+	}
+	e.sinceSync++
+	if e.sinceSync >= e.syncEvery {
+		return e.barrierLocked(true)
+	}
+	return nil
+}
+
+// Sync forces a delivery barrier: all shards drain their queues and every
+// pending detection is delivered through OnDetect in merged order. Call it
+// before reading state the detections feed (an audit log, a data store).
+func (e *Engine) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return e.err
+	}
+	err := e.barrierLocked(false)
+	e.deliverPending(true)
+	return err
+}
+
+// Close completes every pending detection (each shard fires its remaining
+// pseudo events), delivers the final merged batch and stops the shard
+// workers. The engine rejects ingestion afterwards; Close is idempotent
+// and returns the first shard failure, if any.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.idx++
+	env := envelope{op: opDrain}
+	for s := range e.workers {
+		e.push(s, env)
+	}
+	e.barrierLocked(false)
+	e.deliverPending(true)
+	for s := range e.workers {
+		close(e.workers[s].ch)
+	}
+	for _, w := range e.workers {
+		<-w.done
+	}
+	e.closed = true
+}
+
+// barrierLocked flushes all pending envelopes, waits until every shard has
+// drained its queue, surfaces worker errors, collects the accumulated
+// detections into e.pending and — when deliver is set — delivers every
+// completed fire-time group. Callers hold e.mu, so after the barrier the
+// workers are quiescent (blocked on empty channels) and their state is
+// safe to read.
+func (e *Engine) barrierLocked(deliver bool) error {
+	// Catch every shard up to the router's clock first: a shard that saw
+	// none of the recent observations still owes pseudo-event firings due
+	// strictly before now, and with those in hand every fire-time group
+	// before e.now is complete — the merged (fire, rule, seq) order cannot
+	// change with the shard count. The catch-up is strict (AdvanceBefore,
+	// not AdvanceTo): an observation at exactly e.now may still arrive
+	// after this barrier, so pseudo events due at e.now itself must not
+	// fire early.
+	if e.now != event.MinTime {
+		adv := envelope{op: opCatchUp, at: e.now}
+		for s := range e.workers {
+			e.push(s, adv)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.workers))
+	env := envelope{op: opBarrier, ack: &wg}
+	for s := range e.workers {
+		e.push(s, env)
+		e.flush(s)
+	}
+	wg.Wait()
+	e.sinceSync = 0
+	for _, w := range e.workers {
+		if w.err != nil && e.err == nil {
+			e.err = w.err
+		}
+		e.pending = append(e.pending, w.dets...)
+		w.dets = w.dets[:0]
+	}
+	if deliver {
+		e.deliverPending(false)
+	}
+	return e.err
+}
+
+// deliverPending sorts the undelivered detections by (fire, rule, seq) and
+// invokes OnDetect for every completed fire-time group — those strictly
+// before the router's clock. The group at the current instant stays
+// pending unless all is set: a pseudo event due at e.now has not fired yet
+// and an observation at exactly e.now may still arrive, so delivering it
+// now would split the group across batches and make tie order depend on
+// where the barrier fell. Sync and Close pass all=true to flush
+// unconditionally.
+func (e *Engine) deliverPending(all bool) {
+	sort.Slice(e.pending, func(i, j int) bool {
+		a, b := e.pending[i], e.pending[j]
+		if a.fire != b.fire {
+			return a.fire < b.fire
+		}
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		return a.seq < b.seq
+	})
+	n := len(e.pending)
+	if !all {
+		n = sort.Search(len(e.pending), func(i int) bool { return e.pending[i].fire >= e.now })
+	}
+	for _, d := range e.pending[:n] {
+		e.delivered++
+		e.onDetect(d.rule, d.inst)
+	}
+	e.pending = append(e.pending[:0], e.pending[n:]...)
+}
+
+// Metrics returns the aggregate activity counters: Observations is the
+// number of observations accepted by the router (each counted once, no
+// matter how many shards it fanned out to), Detections the number of
+// detections delivered through OnDetect, and the remaining fields are
+// summed across shards. The call quiesces every shard first, so the
+// counters are a consistent snapshot; completed fire-time groups are
+// delivered as a side effect (detections at the current instant stay
+// pending until time advances, so Detections can trail Emitted).
+func (e *Engine) Metrics() detect.Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.barrierLocked(true)
+	}
+	var m detect.Metrics
+	for _, w := range e.workers {
+		sm := w.eng.Metrics()
+		m.PrimMatches += sm.PrimMatches
+		m.Emitted += sm.Emitted
+		m.PseudoScheduled += sm.PseudoScheduled
+		m.PseudoFired += sm.PseudoFired
+		m.Dropped += sm.Dropped
+	}
+	m.Observations = e.ingested
+	m.Detections = e.delivered
+	return m
+}
+
+// ShardMetrics returns every shard's own counters (index = shard ID);
+// Observations here counts the observations routed to that shard.
+func (e *Engine) ShardMetrics() []detect.Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.barrierLocked(true)
+	}
+	out := make([]detect.Metrics, len(e.workers))
+	for i, w := range e.workers {
+		out[i] = w.eng.Metrics()
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzPartitionCoverage fuzzes the partitioning router: for any generated
+// rule set every rule must be assigned to exactly one shard, and no
+// observation that one of a rule's leaves can match (per the single-prim
+// detect-engine oracle) may be skipped by the fan-out filter.
+func FuzzPartitionCoverage(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(6), uint8(40))
+	f.Add(int64(42), uint8(1), uint8(1), uint8(10))
+	f.Add(int64(-7), uint8(8), uint8(15), uint8(70))
+	f.Add(int64(1234567), uint8(2), uint8(3), uint8(25))
+	f.Fuzz(func(t *testing.T, seed int64, shards, nRules, nObs uint8) {
+		r := rand.New(rand.NewSource(seed))
+		rules := genRules(r, 1+int(nRules%16))
+		stream := genStream(r, 1+int(nObs%80))
+		checkRouterCoverage(t, rules, stream, 1+int(shards%8))
+	})
+}

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rcep/internal/core/event"
+)
+
+// Shared randomized-workload generator for the oracle, fuzz and race
+// suites: rule sets drawn from the paper's rule shapes (literal readers,
+// group-keyed variable readers, wild variable readers, negation, aperiodic
+// sequences) over a small reader pool, plus timestamp-sorted streams.
+
+var genReaders = []string{"r0", "r1", "r2", "r3", "r4", "r5"}
+
+// genGroups maps every reader to itself plus an even/odd group, so group
+// key spaces overlap several readers.
+func genGroups(r string) []string {
+	var idx int
+	if _, err := fmt.Sscanf(r, "r%d", &idx); err != nil {
+		return []string{r}
+	}
+	if idx%2 == 0 {
+		return []string{r, "even"}
+	}
+	return []string{r, "odd"}
+}
+
+// genTypeOf gives objects "a" and "b" the laptop type.
+func genTypeOf(o string) string {
+	if o == "a" || o == "b" {
+		return "laptop"
+	}
+	return ""
+}
+
+func ts(sec float64) event.Time { return event.Time(sec * float64(time.Second)) }
+
+func lit(reader, objVar, timeVar string, preds ...event.Pred) *event.Prim {
+	return &event.Prim{
+		Reader: event.Term{Lit: reader},
+		Object: event.Term{Var: objVar},
+		At:     event.Term{Var: timeVar},
+		Preds:  preds,
+	}
+}
+
+func vars(rVar, oVar, tVar string, preds ...event.Pred) *event.Prim {
+	return &event.Prim{
+		Reader: event.Term{Var: rVar},
+		Object: event.Term{Var: oVar},
+		At:     event.Term{Var: tVar},
+		Preds:  preds,
+	}
+}
+
+// genRule draws one rule expression; every template is a valid (push or
+// mixed mode) event the graph builder accepts.
+func genRule(r *rand.Rand) event.Expr {
+	pick := func() string { return genReaders[r.Intn(len(genReaders))] }
+	grp := "even"
+	if r.Intn(2) == 1 {
+		grp = "odd"
+	}
+	switch r.Intn(7) {
+	case 0: // distance-bounded sequence over two literal readers
+		return &event.TSeq{
+			L: lit(pick(), "o1", "t1"), R: lit(pick(), "o2", "t2"),
+			Lo: 200 * time.Millisecond, Hi: 3 * time.Second,
+		}
+	case 1: // object-joined sequence over literal readers
+		return &event.Within{
+			X:   &event.Seq{L: lit(pick(), "o", "t1"), R: lit(pick(), "o", "t2")},
+			Max: 5 * time.Second,
+		}
+	case 2: // infield: first sighting within the window
+		rd := pick()
+		return &event.Within{
+			X:   &event.Seq{L: &event.Not{X: lit(rd, "o", "t1")}, R: lit(rd, "o", "t2")},
+			Max: 4 * time.Second,
+		}
+	case 3: // negated conjunction with a type predicate
+		return &event.Within{
+			X: &event.And{
+				L: lit(pick(), "o1", "t1", event.Pred{Fn: "type", Arg: "o1", Op: event.CmpEq, Val: "laptop"}),
+				R: &event.Not{X: lit(pick(), "o2", "t2")},
+			},
+			Max: 2 * time.Second,
+		}
+	case 4: // aperiodic sequence on one literal reader
+		return &event.TSeqPlus{X: lit(pick(), "o", "t"), Lo: 0, Hi: time.Second}
+	case 5: // group-keyed variable reader
+		return &event.Within{
+			X: &event.Seq{
+				L: vars("r", "o", "t1", event.Pred{Fn: "group", Arg: "r", Op: event.CmpEq, Val: grp}),
+				R: vars("r", "o", "t2", event.Pred{Fn: "group", Arg: "r", Op: event.CmpEq, Val: grp}),
+			},
+			Max: 5 * time.Second,
+		}
+	default: // wild variable reader
+		return &event.Within{
+			X:   &event.Seq{L: vars("r", "o", "u1"), R: vars("r", "o", "u2")},
+			Max: 5 * time.Second,
+		}
+	}
+}
+
+// genRules draws a rule set with IDs 1..n.
+func genRules(r *rand.Rand, n int) []Rule {
+	out := make([]Rule, n)
+	for i := range out {
+		out[i] = Rule{ID: i + 1, Expr: genRule(r)}
+	}
+	return out
+}
+
+// genStream draws a timestamp-sorted observation stream over the reader
+// pool (plus the occasional unknown reader) with gaps that include zero,
+// so equal-timestamp ties are exercised.
+func genStream(r *rand.Rand, n int) []event.Observation {
+	var out []event.Observation
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += float64(r.Intn(1500)) / 1000.0
+		reader := genReaders[r.Intn(len(genReaders))]
+		if r.Intn(20) == 0 {
+			reader = "rz" // unknown to every literal key
+		}
+		out = append(out, event.Observation{
+			Reader: reader,
+			Object: string(rune('a' + r.Intn(6))),
+			At:     ts(t),
+		})
+	}
+	return out
+}
+
+// sig renders a detection for multiset comparison.
+func sig(rule int, inst *event.Instance) string {
+	return fmt.Sprintf("%d|%s|%s|%s", rule, inst.Begin, inst.End, inst.Binds.String())
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+)
+
+// TestConcurrentIngestMetricsClose hammers the engine from many goroutines
+// at once — batch ingestion from two producers, metrics snapshots,
+// mid-stream checkpoints and a concurrent Close — and relies on -race to
+// flag unsynchronized access. Ordering errors between racing producers and
+// ErrClosed after the concurrent Close are expected and tolerated; any
+// other error fails the test.
+func TestConcurrentIngestMetricsClose(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	rules := genRules(r, 12)
+	var delivered atomic.Uint64
+	eng, err := New(Config{
+		Rules:  rules,
+		Shards: 4,
+		Groups: genGroups,
+		TypeOf: genTypeOf,
+		OnDetect: func(int, *event.Instance) {
+			delivered.Add(1)
+		},
+		Batch:     4,
+		SyncEvery: 16,
+	})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+
+	tolerable := func(err error) bool {
+		return err == nil || errors.Is(err, detect.ErrOutOfOrder) || errors.Is(err, ErrClosed)
+	}
+
+	var clock atomic.Int64 // shared virtual clock, milliseconds
+	var wg sync.WaitGroup
+
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pr := rand.New(rand.NewSource(int64(100 + p)))
+			for i := 0; i < 150; i++ {
+				base := clock.Add(int64(pr.Intn(200)))
+				batch := make([]event.Observation, 0, 8)
+				for j := 0; j < 1+pr.Intn(8); j++ {
+					batch = append(batch, event.Observation{
+						Reader: genReaders[pr.Intn(len(genReaders))],
+						Object: string(rune('a' + pr.Intn(6))),
+						At:     event.Time(base+int64(j)) * event.Time(time.Millisecond),
+					})
+				}
+				if err := eng.IngestBatch(batch); !tolerable(err) {
+					t.Errorf("producer %d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	wg.Add(1)
+	go func() { // metrics reader
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			m := eng.Metrics()
+			if m.Detections > delivered.Load() {
+				t.Errorf("Metrics.Detections %d ahead of OnDetect count", m.Detections)
+				return
+			}
+			eng.ShardMetrics()
+			_ = eng.Now()
+			_ = eng.Err()
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // mid-stream checkpoints
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := eng.SaveCheckpoint(io.Discard); err != nil && !errors.Is(err, ErrClosed) {
+				// Close may win the race mid-save; anything else is real.
+				t.Errorf("SaveCheckpoint: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // concurrent close partway through
+		defer wg.Done()
+		time.Sleep(10 * time.Millisecond)
+		eng.Close()
+	}()
+
+	wg.Wait()
+	eng.Close() // idempotent
+	if err := eng.Err(); err != nil {
+		t.Fatalf("shard worker error: %v", err)
+	}
+}
+
+// TestConcurrentIngestSingleProducer checks the clean concurrent shape —
+// one ordered producer, many readers — delivers every detection exactly
+// once and leaves consistent counters.
+func TestConcurrentIngestSingleProducer(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rules := genRules(r, 10)
+	stream := genStream(r, 400)
+
+	var delivered atomic.Uint64
+	eng, err := New(Config{
+		Rules:  rules,
+		Shards: 4,
+		Groups: genGroups,
+		TypeOf: genTypeOf,
+		OnDetect: func(int, *event.Instance) {
+			delivered.Add(1)
+		},
+		Batch:     4,
+		SyncEvery: 32,
+	})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					eng.Metrics()
+					eng.ShardMetrics()
+				}
+			}
+		}()
+	}
+	for i := 0; i < len(stream); i += 16 {
+		end := i + 16
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := eng.IngestBatch(stream[i:end]); err != nil {
+			t.Fatalf("IngestBatch: %v", err)
+		}
+	}
+	eng.Close()
+	close(done)
+	readers.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	m := eng.Metrics()
+	if m.Observations != uint64(len(stream)) {
+		t.Errorf("Observations = %d, want %d", m.Observations, len(stream))
+	}
+	if m.Detections != delivered.Load() {
+		t.Errorf("Detections = %d, OnDetect saw %d", m.Detections, delivered.Load())
+	}
+}

@@ -396,15 +396,15 @@ func matchPrim(p *event.Prim, obs event.Observation, groups func(string) []strin
 			}
 		}
 	}
-	binds := make(event.Bindings, 3)
+	binds := make(event.Bindings, 0, 3)
 	if p.Reader.IsVar() {
-		binds[p.Reader.Var] = event.StringValue(obs.Reader)
+		binds = binds.Set(p.Reader.Var, event.StringValue(obs.Reader))
 	}
 	if p.Object.IsVar() {
-		binds[p.Object.Var] = event.StringValue(obs.Object)
+		binds = binds.Set(p.Object.Var, event.StringValue(obs.Object))
 	}
 	if p.At.IsVar() {
-		binds[p.At.Var] = event.TimeValue(obs.At)
+		binds = binds.Set(p.At.Var, event.TimeValue(obs.At))
 	}
 	return binds, true
 }

@@ -141,8 +141,8 @@ func TestBaselineAgreesWithoutTemporalConstraints(t *testing.T) {
 		t.Fatalf("baseline %d vs RCEDA %d", len(baseline), len(rceda))
 	}
 	for i := range baseline {
-		if baseline[i].Binds["o1"].Str() != rceda[i].Binds["o1"].Str() ||
-			baseline[i].Binds["o2"].Str() != rceda[i].Binds["o2"].Str() {
+		if baseline[i].Binds.Val("o1").Str() != rceda[i].Binds.Val("o1").Str() ||
+			baseline[i].Binds.Val("o2").Str() != rceda[i].Binds.Val("o2").Str() {
 			t.Errorf("pairing %d differs: %v vs %v", i, baseline[i].Binds, rceda[i].Binds)
 		}
 	}

@@ -5,8 +5,11 @@
 // inherent (channel sends block) and cancellation propagates through a
 // context.
 //
-// The detection engine itself stays single-goroutine — the pipeline
-// serializes all observations into the final sink stage.
+// The pipeline serializes all observations into the final sink stage, so
+// a classic single-goroutine detection engine can be fed directly. A
+// sharded engine (internal/core/shard, rcep Config.Shards > 1) fans the
+// serialized stream back out across its shard workers behind the same
+// Sink function; wrap it in a BatchSink to amortize the fan-out lock.
 package pipeline
 
 import (
@@ -208,6 +211,46 @@ func Run(ctx context.Context, cfg Config) error {
 		return err
 	}
 	return nil
+}
+
+// BatchSink adapts an engine's batch-ingestion path into a pipeline Sink,
+// grouping consecutive observations into fixed-size batches. The sharded
+// engine takes one router lock per batch instead of per observation, so
+// feeding it through a BatchSink keeps the pipeline's serialization cheap.
+// Call Flush once after Run returns cleanly; Push must not be called
+// concurrently (the pipeline's single sink goroutine satisfies this).
+type BatchSink struct {
+	ingest func([]event.Observation) error
+	buf    []event.Observation
+	size   int
+}
+
+// NewBatchSink wraps ingest (e.g. the sharded engine's IngestBatch) into a
+// sink flushing every size observations; size < 1 means 64.
+func NewBatchSink(size int, ingest func([]event.Observation) error) *BatchSink {
+	if size < 1 {
+		size = 64
+	}
+	return &BatchSink{ingest: ingest, size: size, buf: make([]event.Observation, 0, size)}
+}
+
+// Push buffers one observation, forwarding a full batch.
+func (b *BatchSink) Push(o event.Observation) error {
+	b.buf = append(b.buf, o)
+	if len(b.buf) >= b.size {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush forwards the buffered partial batch.
+func (b *BatchSink) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	err := b.ingest(b.buf)
+	b.buf = b.buf[:0]
+	return err
 }
 
 // SliceSource adapts a pre-built observation slice into a Source.

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/core/shard"
+	"rcep/internal/rules"
+	"rcep/internal/sim"
+)
+
+// TestPipelineFeedsShardedEngine runs the full concurrent path — source,
+// filtering stages, batch sink — into the sharded engine and checks it
+// detects exactly what a single engine fed by the same pipeline detects.
+func TestPipelineFeedsShardedEngine(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Lines = 2
+	cfg.DupProb = 0.2
+	sc := sim.Generate(cfg)
+	rs, err := rules.ParseScript(sim.RuleScript(cfg.Lines, sim.AllFamilies()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sig := func(rid int, inst *event.Instance) string {
+		return inst.String() + "#" + rs.Rules[rid].ID
+	}
+
+	runPipe := func(sink func(event.Observation) error, flush func() error) {
+		t.Helper()
+		err := Run(context.Background(), Config{
+			Source: SliceSource(sc.Observations),
+			Stages: []StageFunc{Dedup(time.Second)},
+			Sink:   sink,
+			Buffer: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if flush != nil {
+			if err := flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var want []string
+	b := graph.NewBuilder()
+	for i, r := range rs.Rules {
+		if _, err := b.AddRule(i, r.Event); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single, err := detect.New(detect.Config{
+		Graph:  b.Finalize(),
+		Groups: sc.ChainGroups(),
+		TypeOf: sc.Registry.TypeOf,
+		OnDetect: func(rid int, inst *event.Instance) {
+			want = append(want, sig(rid, inst))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPipe(single.Ingest, nil)
+	single.Close()
+	if len(want) == 0 {
+		t.Fatal("single-engine pipeline detected nothing; workload is vacuous")
+	}
+
+	shRules := make([]shard.Rule, len(rs.Rules))
+	for i, r := range rs.Rules {
+		shRules[i] = shard.Rule{ID: i, Expr: r.Event}
+	}
+	var got []string
+	sharded, err := shard.New(shard.Config{
+		Rules:  shRules,
+		Shards: 4,
+		Groups: sc.ChainGroups(),
+		TypeOf: sc.Registry.TypeOf,
+		OnDetect: func(rid int, inst *event.Instance) {
+			got = append(got, sig(rid, inst))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewBatchSink(32, sharded.IngestBatch)
+	runPipe(sink.Push, sink.Flush)
+	sharded.Close()
+	if err := sharded.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(want) != len(got) {
+		t.Fatalf("sharded pipeline: %d detections, single: %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("detection %d: %s vs single %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchSinkFlushesResidue: a stream not divisible by the batch size
+// still delivers everything once Flush runs.
+func TestBatchSinkFlushesResidue(t *testing.T) {
+	var seen int
+	sink := NewBatchSink(4, func(batch []event.Observation) error {
+		seen += len(batch)
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		if err := sink.Push(o("r", "x", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen != 8 {
+		t.Fatalf("before Flush: %d delivered, want 8 (two full batches)", seen)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 10 {
+		t.Fatalf("after Flush: %d delivered, want 10", seen)
+	}
+}

@@ -145,16 +145,13 @@ func (x *Executor) Dispatch(ruleIdx int, inst *event.Instance) {
 // (seconds, float). User variables with the same names win.
 func withImplicitBindings(inst *event.Instance) event.Bindings {
 	binds := inst.Binds.Clone()
-	if binds == nil {
-		binds = event.Bindings{}
-	}
 	for k, v := range map[string]event.Value{
 		"event_begin":    event.TimeValue(inst.Begin),
 		"event_end":      event.TimeValue(inst.End),
 		"event_interval": event.DurationValue(inst.Interval()),
 	} {
-		if _, taken := binds[k]; !taken {
-			binds[k] = v
+		if _, taken := binds.Get(k); !taken {
+			binds = binds.Set(k, v)
 		}
 	}
 	return binds

@@ -276,17 +276,17 @@ DO UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC';
 	if err := x.Bind(b); err != nil {
 		t.Fatal(err)
 	}
-	inst := &event.Instance{Begin: ts(1), End: ts(1), Binds: event.Bindings{
+	inst := &event.Instance{Begin: ts(1), End: ts(1), Binds: event.MakeBindings(map[string]event.Value{
 		"r": event.StringValue("dock1"),
 		"o": event.StringValue("pallet9"),
 		"t": event.TimeValue(ts(1)),
-	}}
+	})}
 	x.Dispatch(0, inst)
-	inst2 := &event.Instance{Begin: ts(5), End: ts(5), Binds: event.Bindings{
+	inst2 := &event.Instance{Begin: ts(5), End: ts(5), Binds: event.MakeBindings(map[string]event.Value{
 		"r": event.StringValue("dock2"),
 		"o": event.StringValue("pallet9"),
 		"t": event.TimeValue(ts(5)),
-	}}
+	})}
 	x.Dispatch(0, inst2)
 	if errs := x.Errors(); len(errs) != 0 {
 		t.Fatalf("errors: %v", errs)
@@ -327,7 +327,7 @@ DO log_item(o)
 		t.Fatal(err)
 	}
 	fire := func(o string) {
-		x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue(o)}})
+		x.Dispatch(0, &event.Instance{Binds: event.MakeBindings(map[string]event.Value{"o": event.StringValue(o)})})
 	}
 	fire("HOT-1")
 	fire("cold-2")
@@ -352,7 +352,7 @@ DO no_such_proc(o); INSERT INTO NOSUCHTABLE VALUES (o)
 	if err := x.Bind(b); err != nil {
 		t.Fatal(err)
 	}
-	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("x")}})
+	x.Dispatch(0, &event.Instance{Binds: event.MakeBindings(map[string]event.Value{"o": event.StringValue("x")})})
 	errs := x.Errors()
 	if len(errs) != 2 {
 		t.Fatalf("want 2 errors (both actions fail independently), got %v", errs)
@@ -384,7 +384,7 @@ DO record(event_begin, event_end, event_interval)
 	if err := x.Bind(b); err != nil {
 		t.Fatal(err)
 	}
-	x.Dispatch(0, &event.Instance{Begin: ts(2), End: ts(5), Binds: event.Bindings{"o": event.StringValue("x")}})
+	x.Dispatch(0, &event.Instance{Begin: ts(2), End: ts(5), Binds: event.MakeBindings(map[string]event.Value{"o": event.StringValue("x")})})
 	if len(x.Errors()) != 0 {
 		t.Fatalf("errors: %v", x.Errors())
 	}
@@ -410,7 +410,7 @@ DO record(event_begin)
 		t.Fatal(err)
 	}
 	x2.Dispatch(0, &event.Instance{Begin: ts(2), End: ts(2),
-		Binds: event.Bindings{"event_begin": event.StringValue("obj-7")}})
+		Binds: event.MakeBindings(map[string]event.Value{"event_begin": event.StringValue("obj-7")})})
 	if len(got2) != 1 || got2[0].Str() != "obj-7" {
 		t.Fatalf("shadowing: %v", got2)
 	}
@@ -457,8 +457,8 @@ DO mark(o)
 	if err := x.Bind(b); err != nil {
 		t.Fatal(err)
 	}
-	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("known")}})
-	x.Dispatch(0, &event.Instance{Binds: event.Bindings{"o": event.StringValue("unknown")}})
+	x.Dispatch(0, &event.Instance{Binds: event.MakeBindings(map[string]event.Value{"o": event.StringValue("known")})})
+	x.Dispatch(0, &event.Instance{Binds: event.MakeBindings(map[string]event.Value{"o": event.StringValue("unknown")})})
 	if len(marked) != 1 || marked[0] != "known" {
 		t.Fatalf("marked: %v", marked)
 	}

@@ -67,7 +67,7 @@ func BenchmarkSelectIndexProbe(b *testing.B) {
 func BenchmarkInsertWithParams(b *testing.B) {
 	s := benchDB(b, 0, false)
 	stmt, _ := Parse(`INSERT INTO t VALUES (k, v, 1.5)`)
-	params := event.Bindings{"k": event.StringValue("x"), "v": event.IntValue(1)}
+	params := event.MakeBindings(map[string]event.Value{"k": event.StringValue("x"), "v": event.IntValue(1)})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ExecStmt(s, stmt, params); err != nil {
@@ -83,11 +83,11 @@ func BenchmarkUpdateUCPattern(b *testing.B) {
 	ins, _ := Parse(`INSERT INTO OBJECTLOCATION VALUES (o, r, t, 'UC')`)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		params := event.Bindings{
+		params := event.MakeBindings(map[string]event.Value{
 			"o": event.StringValue(fmt.Sprintf("obj%d", i%50)),
 			"r": event.StringValue("dock"),
 			"t": event.TimeValue(event.Time(i)),
-		}
+		})
 		if _, err := ExecStmt(s, upd, params); err != nil {
 			b.Fatal(err)
 		}

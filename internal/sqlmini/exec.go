@@ -149,7 +149,7 @@ func (e *env) resolve(name string) (event.Value, error) {
 			return e.row[i], nil
 		}
 	}
-	if v, ok := e.params[name]; ok {
+	if v, ok := e.params.Get(name); ok {
 		return v, nil
 	}
 	return event.Null, fmt.Errorf("sqlmini: unknown column or parameter %q", name)
@@ -606,9 +606,9 @@ func execInsert(s *store.Store, ins *Insert, params event.Bindings) (*Result, er
 // single row.
 func bulkCardinality(params event.Bindings) int {
 	n := 1
-	for _, v := range params {
-		if v.Kind() == event.KindList && v.Len() > n {
-			n = v.Len()
+	for _, kv := range params {
+		if kv.Val.Kind() == event.KindList && kv.Val.Len() > n {
+			n = kv.Val.Len()
 		}
 	}
 	return n
@@ -616,17 +616,17 @@ func bulkCardinality(params event.Bindings) int {
 
 // elementView projects list bindings onto their i'th element.
 func elementView(params event.Bindings, i int) event.Bindings {
-	out := make(event.Bindings, len(params))
-	for k, v := range params {
+	out := make(event.Bindings, 0, len(params))
+	for _, kv := range params {
+		v := kv.Val
 		if v.Kind() == event.KindList {
 			if i < v.Len() {
-				out[k] = v.Elem(i)
+				v = v.Elem(i)
 			} else {
-				out[k] = event.Null
+				v = event.Null
 			}
-		} else {
-			out[k] = v
 		}
+		out = append(out, event.Binding{Var: kv.Var, Val: v})
 	}
 	return out
 }
@@ -855,7 +855,7 @@ func (re *relEnv) eval(x Expr) (event.Value, error) {
 		if err != errNoColumn {
 			return event.Null, err
 		}
-		if v, ok := re.params[ref.Name]; ok {
+		if v, ok := re.params.Get(ref.Name); ok {
 			return v, nil
 		}
 		return event.Null, fmt.Errorf("sqlmini: unknown column or parameter %q", ref.Name)

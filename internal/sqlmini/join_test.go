@@ -78,7 +78,7 @@ SELECT object_epc FROM OBJECTCONTAINMENT c JOIN OBJECTLOCATION l ON c.parent_epc
 
 func TestJoinWithParams(t *testing.T) {
 	s := rfidDB(t)
-	params := event.Bindings{"target": event.StringValue("i3")}
+	params := event.MakeBindings(map[string]event.Value{"target": event.StringValue("i3")})
 	res := mustExec(t, s, `
 SELECT l.loc_id FROM OBJECTCONTAINMENT c
 JOIN OBJECTLOCATION l ON c.parent_epc = l.object_epc

@@ -146,11 +146,11 @@ func TestGroupBy(t *testing.T) {
 
 func TestParameters(t *testing.T) {
 	s := newDB(t)
-	params := event.Bindings{
+	params := event.MakeBindings(map[string]event.Value{
 		"o": event.StringValue("zz"),
 		"t": event.TimeValue(ts(7)),
 		"n": event.IntValue(99),
-	}
+	})
 	mustExec(t, s, `INSERT INTO items VALUES (o, n, 0.5, t)`, params)
 	res := mustExec(t, s, `SELECT qty FROM items WHERE epc = o`, params)
 	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 99 {
@@ -165,7 +165,7 @@ func TestParameters(t *testing.T) {
 func TestUpdateWithParamsAndUC(t *testing.T) {
 	// Rule 3's location-change action.
 	s := store.OpenRFID()
-	params := event.Bindings{"o": event.StringValue("obj1"), "t": event.TimeValue(ts(50))}
+	params := event.MakeBindings(map[string]event.Value{"o": event.StringValue("obj1"), "t": event.TimeValue(ts(50))})
 	mustExec(t, s, `INSERT INTO OBJECTLOCATION VALUES (o, 'loc1', 0, 'UC')`, params)
 	res := mustExec(t, s, `UPDATE OBJECTLOCATION SET tend = t WHERE object_epc = o AND tend = 'UC'`, params)
 	if res.RowsAffected != 1 {
@@ -181,13 +181,13 @@ func TestUpdateWithParamsAndUC(t *testing.T) {
 func TestBulkInsertExpandsLists(t *testing.T) {
 	// Rule 4's containment action: one row per contained item.
 	s := store.OpenRFID()
-	params := event.Bindings{
+	params := event.MakeBindings(map[string]event.Value{
 		"o1": event.ListValue([]event.Value{
 			event.StringValue("i1"), event.StringValue("i2"), event.StringValue("i3"),
 		}),
 		"o2": event.StringValue("case9"),
 		"t2": event.TimeValue(ts(14)),
-	}
+	})
 	res := mustExec(t, s, `BULK INSERT INTO OBJECTCONTAINMENT VALUES (o1, o2, t2, 'UC')`, params)
 	if res.RowsAffected != 3 {
 		t.Fatalf("bulk inserted %d rows, want 3", res.RowsAffected)
@@ -268,10 +268,10 @@ func TestIndexProbeMatchesScan(t *testing.T) {
 	mustExec(t, s, `CREATE TABLE t (k STRING, v INT)`, nil)
 	tbl, _ := s.Table("t")
 	for i := 0; i < 200; i++ {
-		mustExec(t, s, `INSERT INTO t VALUES (k, v)`, event.Bindings{
+		mustExec(t, s, `INSERT INTO t VALUES (k, v)`, event.MakeBindings(map[string]event.Value{
 			"k": event.StringValue(strings.Repeat("x", i%5+1)),
 			"v": event.IntValue(int64(i)),
-		})
+		}))
 	}
 	scanRes := mustExec(t, s, `SELECT COUNT(*) FROM t WHERE k = 'xxx' AND v % 2 = 0`, nil)
 	if err := tbl.CreateIndex("k"); err != nil {

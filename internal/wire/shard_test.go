@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"rcep"
+)
+
+const twoReaderRules = `
+CREATE RULE r1, dock sequence
+ON WITHIN(observation('dock1', o, t1); observation('dock1', o, t2), 5sec)
+IF true
+DO INSERT INTO ALERTS VALUES ('dock', o, t1)
+
+CREATE RULE r2, gate sequence
+ON WITHIN(observation('gate1', o, t1); observation('gate1', o, t2), 5sec)
+IF true
+DO INSERT INTO ALERTS VALUES ('gate', o, t1)
+`
+
+// TestWireShardedEngine serves a sharded engine over the wire: firings,
+// queries and the stats reply (including the shard count) all behave as
+// with a single engine.
+func TestWireShardedEngine(t *testing.T) {
+	_, addr := startServer(t, rcep.Config{Rules: twoReaderRules, Shards: 4})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := make(chan Message, 10)
+	c.OnFire = func(m Message) { fires <- m }
+
+	for i, o := range []struct {
+		reader, object string
+	}{{"dock1", "p1"}, {"gate1", "p2"}, {"dock1", "p1"}, {"gate1", "p2"}} {
+		if err := c.Send(o.reader, o.object, sec(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		select {
+		case m := <-fires:
+			seen[m.Rule] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("rules fired: %v, want both r1 and r2", seen)
+		}
+	}
+
+	_, rows, err := c.Query(`SELECT object_epc FROM ALERTS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("ALERTS rows over wire: %v, want 2", rows)
+	}
+
+	stats, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Observations != 4 || stats.Detections != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Shards != 2 {
+		t.Fatalf("stats.Shards = %d, want 2 (two disjoint reader classes)", stats.Shards)
+	}
+}

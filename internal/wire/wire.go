@@ -21,7 +21,7 @@
 //	{"type":"ack","seq":N}                  // cumulative, per client_id
 //	{"type":"ping"}                         // keepalive probe
 //	{"type":"error","msg":"..."}
-//	{"type":"stats","observations":N,"detections":M}   // reply to bye
+//	{"type":"stats","observations":N,"detections":M,"shards":K}   // reply to bye
 //
 // Reliable delivery: obs/advance frames may carry client_id and a
 // monotonically increasing seq (starting at 1). The server applies each
@@ -78,6 +78,7 @@ type Message struct {
 	Msg          string `json:"msg,omitempty"`
 	Observations uint64 `json:"observations,omitempty"`
 	Detections   uint64 `json:"detections,omitempty"`
+	Shards       int    `json:"shards,omitempty"` // detection shards serving the engine
 }
 
 // Server serves one shared engine to any number of connections.
@@ -172,7 +173,13 @@ func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
 	// The ingest chain runs under emu: engine, then dedup, then reorder
 	// in front (stages are stateful and single-writer).
 	s.ingest = func(o event.Observation) error {
-		return eng.Ingest(o.Reader, o.Object, time.Duration(o.At))
+		if err := eng.Ingest(o.Reader, o.Object, time.Duration(o.At)); err != nil {
+			return err
+		}
+		// A sharded engine delivers detections at barriers; the protocol
+		// promises prompt firing broadcasts, so force delivery per frame
+		// (no-op on a single engine).
+		return eng.Flush()
 	}
 	if so.dedupWindow > 0 {
 		d := stream.NewDedup(so.dedupWindow, s.ingest)
@@ -294,6 +301,9 @@ func (s *Server) handle(conn net.Conn) {
 					if err == nil {
 						err = s.eng.AdvanceTo(time.Duration(m.AtNS))
 					}
+					if err == nil {
+						err = s.eng.Flush()
+					}
 				}
 				s.emu.Unlock()
 			}
@@ -321,7 +331,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.emu.Lock()
 			met := s.eng.Metrics()
 			s.emu.Unlock()
-			reply(Message{Type: "stats", Observations: met.Observations, Detections: met.Detections})
+			reply(Message{Type: "stats", Observations: met.Observations, Detections: met.Detections, Shards: s.eng.Shards()})
 			return
 		default:
 			reply(Message{Type: "error", Msg: fmt.Sprintf("unknown message type %q", m.Type)})

@@ -25,13 +25,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	pctx "rcep/internal/core/context"
 	"rcep/internal/core/detect"
 	"rcep/internal/core/event"
 	"rcep/internal/core/graph"
+	"rcep/internal/core/shard"
 	"rcep/internal/rules"
 	"rcep/internal/sqlmini"
 	"rcep/internal/store"
@@ -97,6 +97,14 @@ type Config struct {
 	// many rules over distinct readers.
 	IndexPrimitives bool
 
+	// Shards, when > 1, partitions the rule set by reader/group key
+	// space and runs up to that many detection engines in parallel (see
+	// internal/core/shard). Observations fan out only to the shards
+	// whose rules can match them; detections merge back into a
+	// deterministic order, so Firings and OnDetection behave as with a
+	// single engine. 0 or 1 keeps the classic single-goroutine engine.
+	Shards int
+
 	// MaxPartitionBuffer, MaxHistory and MaxOpenSequence bound per-node
 	// engine state for unruly inputs (see detect.Config); zero means
 	// unbounded, the paper's semantics. Evictions are lossy and counted
@@ -117,15 +125,34 @@ type Config struct {
 	Checkpoint io.Reader
 }
 
-// Engine is a configured RFID complex event processor. It is not safe for
-// concurrent use; feed it from one goroutine.
+// coreEngine is the detection-engine surface the facade drives; it is
+// satisfied by both detect.Engine (single-goroutine) and shard.Engine
+// (parallel, Config.Shards > 1).
+type coreEngine interface {
+	Ingest(event.Observation) error
+	IngestBatch([]event.Observation) error
+	AdvanceTo(event.Time) error
+	Close()
+	Metrics() detect.Metrics
+	SaveCheckpoint(io.Writer) error
+	RestoreCheckpoint(io.Reader) error
+}
+
+// Engine is a configured RFID complex event processor. With Config.Shards
+// ≤ 1 it is not safe for concurrent use — feed it from one goroutine.
+// With Shards > 1 ingestion calls are goroutine-safe, but rule actions
+// and OnDetection still run on whichever goroutine triggers a delivery
+// barrier, so callbacks must not call back into the engine.
 type Engine struct {
-	eng   *detect.Engine
-	exec  *rules.Executor
-	store *store.Store
-	procs rules.Procs
-	funcs sqlmini.Funcs
-	errs  []error
+	eng    *detect.Engine // single-engine mode, nil when sharded
+	sh     *shard.Engine  // sharded mode, nil otherwise
+	core   coreEngine     // whichever of the two is active
+	exec   *rules.Executor
+	store  *store.Store
+	procs  rules.Procs
+	funcs  sqlmini.Funcs
+	errs   []error
+	shards int
 }
 
 // New parses the rule script, compiles the event graph and returns a
@@ -202,26 +229,87 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	e.eng, err = detect.New(detect.Config{
-		Graph:              b.Finalize(),
-		Context:            ctx,
-		Groups:             cfg.Groups,
-		TypeOf:             cfg.TypeOf,
-		OnDetect:           onDetect,
-		IndexPrimitives:    cfg.IndexPrimitives,
-		MaxPartitionBuffer: cfg.MaxPartitionBuffer,
-		MaxHistory:         cfg.MaxHistory,
-		MaxOpenSequence:    cfg.MaxOpenSequence,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("rcep: %w", err)
+	if cfg.Shards > 1 {
+		shRules := make([]shard.Rule, len(rs.Rules))
+		for i, r := range rs.Rules {
+			shRules[i] = shard.Rule{ID: i, Expr: r.Event}
+		}
+		e.sh, err = shard.New(shard.Config{
+			Rules:              shRules,
+			Shards:             cfg.Shards,
+			Context:            ctx,
+			Groups:             cfg.Groups,
+			TypeOf:             cfg.TypeOf,
+			OnDetect:           onDetect,
+			IndexPrimitives:    cfg.IndexPrimitives,
+			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
+			MaxHistory:         cfg.MaxHistory,
+			MaxOpenSequence:    cfg.MaxOpenSequence,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rcep: %w", err)
+		}
+		e.core = e.sh
+		e.shards = e.sh.Shards()
+	} else {
+		e.eng, err = detect.New(detect.Config{
+			Graph:              b.Finalize(),
+			Context:            ctx,
+			Groups:             cfg.Groups,
+			TypeOf:             cfg.TypeOf,
+			OnDetect:           onDetect,
+			IndexPrimitives:    cfg.IndexPrimitives,
+			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
+			MaxHistory:         cfg.MaxHistory,
+			MaxOpenSequence:    cfg.MaxOpenSequence,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rcep: %w", err)
+		}
+		e.core = e.eng
+		e.shards = 1
 	}
 	if engineCk != nil {
-		if err := e.eng.RestoreCheckpoint(bytes.NewReader(engineCk)); err != nil {
+		if err := e.core.RestoreCheckpoint(bytes.NewReader(engineCk)); err != nil {
 			return nil, fmt.Errorf("rcep: restore checkpoint: %w", err)
 		}
 	}
 	return e, nil
+}
+
+// Shards returns the number of parallel detection engines serving this
+// facade: 1 in classic single-engine mode, the partition's shard count
+// (≤ Config.Shards) otherwise.
+func (e *Engine) Shards() int { return e.shards }
+
+// sync forces pending sharded detections (and therefore rule actions)
+// to be delivered before state the actions feed — the audit log, the
+// data store — is read. Single-engine mode delivers synchronously, so
+// this is a no-op there.
+func (e *Engine) sync() {
+	if e.sh != nil {
+		if err := e.sh.Sync(); err != nil {
+			e.errs = append(e.errs, err)
+		}
+	}
+}
+
+// Flush forces pending sharded detections to be delivered now: rule
+// actions run and OnDetection fires for everything detected up to the
+// last ingested observation. It returns the first shard failure, if any.
+// In single-engine mode delivery is synchronous and Flush is a no-op.
+// Latency-sensitive callers (e.g. a server broadcasting firings) should
+// Flush after each observation or batch; throughput-oriented feeds can
+// let the engine deliver at its own barriers.
+func (e *Engine) Flush() error {
+	if e.sh == nil {
+		return nil
+	}
+	if err := e.sh.Sync(); err != nil {
+		e.errs = append(e.errs, err)
+		return err
+	}
+	return nil
 }
 
 // RegisterProcedure makes a procedure callable from DO lists. Register
@@ -268,7 +356,7 @@ func (e *Engine) SetRuleEnabled(ruleID string, enabled bool) bool {
 // Ingest feeds one observation. Observations must be in non-decreasing
 // time order; use IngestAll with a pre-sorted batch when unsure.
 func (e *Engine) Ingest(reader, object string, at time.Duration) error {
-	return e.eng.Ingest(event.Observation{Reader: reader, Object: object, At: event.Time(at)})
+	return e.core.Ingest(event.Observation{Reader: reader, Object: object, At: event.Time(at)})
 }
 
 // IngestObservation feeds one Observation.
@@ -277,37 +365,44 @@ func (e *Engine) IngestObservation(o Observation) error {
 }
 
 // IngestBatch sorts a batch by timestamp (stable) and feeds it. The whole
-// batch must still not precede anything already ingested.
+// batch must still not precede anything already ingested; when it does,
+// the error is returned BEFORE anything is applied — the batch is atomic
+// with respect to ordering failures (see detect.Engine.IngestBatch).
 func (e *Engine) IngestBatch(batch []Observation) error {
-	sorted := append([]Observation(nil), batch...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
-	for _, o := range sorted {
-		if err := e.IngestObservation(o); err != nil {
-			return err
-		}
+	obs := make([]event.Observation, len(batch))
+	for i, o := range batch {
+		obs[i] = event.Observation{Reader: o.Reader, Object: o.Object, At: event.Time(o.At)}
 	}
-	return nil
+	return e.core.IngestBatch(obs)
 }
 
 // AdvanceTo moves virtual time forward with no observations, letting
 // negation windows and sequence closures expire (e.g. outfield events).
 func (e *Engine) AdvanceTo(at time.Duration) error {
-	return e.eng.AdvanceTo(event.Time(at))
+	return e.core.AdvanceTo(event.Time(at))
 }
 
 // Close completes every pending detection whose window ends after the
 // last observation, and returns the accumulated rule action errors (nil
 // when every action succeeded).
 func (e *Engine) Close() error {
-	e.eng.Close()
+	e.core.Close()
+	if e.sh != nil {
+		if err := e.sh.Err(); err != nil {
+			e.errs = append(e.errs, err)
+		}
+	}
 	return errors.Join(e.errs...)
 }
 
 // Errs returns the rule action/condition errors collected so far.
 func (e *Engine) Errs() []error { return e.errs }
 
-// Firings returns the audit log of rule firings so far.
+// Firings returns the audit log of rule firings so far. In sharded mode
+// pending detections are flushed first, so the log is complete up to the
+// last ingested observation's virtual time.
 func (e *Engine) Firings() []Detection {
+	e.sync()
 	rs := e.exec.Rules()
 	var out []Detection
 	for _, f := range e.exec.Firings() {
@@ -326,8 +421,10 @@ func (e *Engine) Firings() []Detection {
 	return out
 }
 
-// Query runs a SELECT against the embedded RFID data store.
+// Query runs a SELECT against the embedded RFID data store. In sharded
+// mode pending rule actions are applied first.
 func (e *Engine) Query(sql string) (cols []string, rows [][]any, err error) {
+	e.sync()
 	res, err := sqlmini.Exec(e.store, sql, nil)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rcep: %w", err)
@@ -346,6 +443,7 @@ func (e *Engine) Query(sql string) (cols []string, rows [][]any, err error) {
 // Exec runs a non-SELECT SQL statement against the embedded store and
 // returns the number of affected rows. Useful for seeding reference data.
 func (e *Engine) Exec(sql string) (int, error) {
+	e.sync()
 	res, err := sqlmini.Exec(e.store, sql, nil)
 	if err != nil {
 		return 0, fmt.Errorf("rcep: %w", err)
@@ -366,6 +464,7 @@ type Stay struct {
 // and containment histories: where it was, following containment chains
 // (an item inside a case is wherever the case is).
 func (e *Engine) Trace(object string) ([]Stay, error) {
+	e.sync()
 	stays, err := store.Trace(e.store, object)
 	if err != nil {
 		return nil, fmt.Errorf("rcep: %w", err)
@@ -388,12 +487,14 @@ func (e *Engine) Trace(object string) ([]Stay, error) {
 // LocateAt resolves an object's effective location at a point in time,
 // following containment chains.
 func (e *Engine) LocateAt(object string, at time.Duration) (string, bool) {
+	e.sync()
 	return store.EffectiveLocationAt(e.store, object, event.Time(at))
 }
 
 // SaveStore snapshots the embedded data store as JSON; restore it in a
 // later session via Config.StoreSnapshot.
 func (e *Engine) SaveStore(w io.Writer) error {
+	e.sync()
 	return e.store.Save(w)
 }
 
@@ -408,11 +509,14 @@ type fullCheckpoint struct {
 // resumes mid-window: buffered constituents, open sequences and pending
 // negation windows all survive. The rule firing audit log does not.
 func (e *Engine) SaveCheckpoint(w io.Writer) error {
+	// Pending sharded detections run their actions first so the saved
+	// store matches the saved detection state (which excludes them).
+	e.sync()
 	var st, en bytes.Buffer
 	if err := e.store.Save(&st); err != nil {
 		return fmt.Errorf("rcep: checkpoint store: %w", err)
 	}
-	if err := e.eng.SaveCheckpoint(&en); err != nil {
+	if err := e.core.SaveCheckpoint(&en); err != nil {
 		return fmt.Errorf("rcep: checkpoint engine: %w", err)
 	}
 	return json.NewEncoder(w).Encode(fullCheckpoint{
@@ -430,9 +534,11 @@ type Metrics struct {
 	Dropped         uint64 // state evicted by the Max* limits
 }
 
-// Metrics returns a snapshot of activity counters.
+// Metrics returns a snapshot of activity counters. In sharded mode the
+// counters aggregate across shards (see ShardMetrics for the breakdown)
+// after a consistent quiesce.
 func (e *Engine) Metrics() Metrics {
-	m := e.eng.Metrics()
+	m := e.core.Metrics()
 	return Metrics{
 		Observations:    m.Observations,
 		PseudoScheduled: m.PseudoScheduled,
@@ -442,11 +548,32 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
+// ShardMetrics returns every detection shard's own counters (index =
+// shard ID; Observations counts what was routed to that shard). It is
+// nil in single-engine mode.
+func (e *Engine) ShardMetrics() []Metrics {
+	if e.sh == nil {
+		return nil
+	}
+	per := e.sh.ShardMetrics()
+	out := make([]Metrics, len(per))
+	for i, m := range per {
+		out[i] = Metrics{
+			Observations:    m.Observations,
+			PseudoScheduled: m.PseudoScheduled,
+			PseudoFired:     m.PseudoFired,
+			Detections:      m.Detections,
+			Dropped:         m.Dropped,
+		}
+	}
+	return out
+}
+
 // bindingsToAny converts event bindings to a plain Go map.
-func bindingsToAny(b map[string]event.Value) map[string]any {
+func bindingsToAny(b event.Bindings) map[string]any {
 	out := make(map[string]any, len(b))
-	for k, v := range b {
-		out[k] = valueToAny(v)
+	for _, kv := range b {
+		out[kv.Var] = valueToAny(kv.Val)
 	}
 	return out
 }
