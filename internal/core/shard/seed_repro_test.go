@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rcep/internal/core/event"
+)
+
+func TestSeedRepro60402385808921546(t *testing.T) {
+	seed := int64(60402385808921546)
+	r := rand.New(rand.NewSource(seed))
+	rules := genRules(r, 3+r.Intn(8))
+	stream := genStream(r, 60+r.Intn(60))
+	oracle := asMultiset(runSingle(t, rules, stream, false))
+
+	// Recreate the exact per-chunk shuffled+stably-sorted order IngestBatch applies.
+	var applied []event.Observation
+	rest := stream
+	for len(rest) > 0 {
+		n := 1 + r.Intn(10)
+		if n > len(rest) {
+			n = len(rest)
+		}
+		chunk := append([]event.Observation(nil), rest[:n]...)
+		r.Shuffle(len(chunk), func(i, j int) { chunk[i], chunk[j] = chunk[j], chunk[i] })
+		sorted := append([]event.Observation(nil), chunk...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+		applied = append(applied, sorted...)
+		rest = rest[n:]
+	}
+	reordered := asMultiset(runSingle(t, rules, applied, false))
+	diffStrings(t, "single-engine on reordered equal-time stream", oracle, reordered)
+
+	// And the sharded engine on the same applied order via plain Ingest.
+	var got []string
+	eng, err := New(Config{
+		Rules: rules, Shards: 4, Groups: genGroups, TypeOf: genTypeOf,
+		OnDetect: func(rid int, inst *event.Instance) { got = append(got, sig(rid, inst)) },
+		Batch:    2, SyncEvery: 5,
+	})
+	if err != nil {
+		t.Fatalf("shard.New: %v", err)
+	}
+	for _, o := range applied {
+		if err := eng.Ingest(o); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	eng.Close()
+	diffStrings(t, "shard vs single on SAME order", reordered, asMultiset(got))
+}
