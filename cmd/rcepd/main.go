@@ -6,12 +6,23 @@
 // Usage:
 //
 //	rcepd -rules rules.rcep [-addr :7411] [-simtypes] [-snapshot store.json]
+//	rcepd -role worker -rules rules.rcep -addr :7412 [-boot-id edge-a]
+//	rcepd -role coordinator -rules rules.rcep -cluster-workers :7412,:7413 [-input obs.csv]
 //
 // With -snapshot, the data store is restored from the file at startup and
-// saved back on SIGINT/SIGTERM.
+// saved back on SIGINT/SIGTERM. On shutdown the server first stops
+// accepting, then drains every connection (flushing final cumulative
+// acks so reliable feeders do not replay into the next incarnation), and
+// only then snapshots — the file also carries the per-client sequence
+// state ("rcepd/v2" envelope; bare engine checkpoints still load).
+//
+// -role worker and -role coordinator run the distributed cluster mode
+// (see internal/core/cluster and docs/OPERATIONS.md).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -26,6 +37,15 @@ import (
 	"rcep/internal/wire"
 )
 
+// snapshotV2 is the rcepd/v2 snapshot envelope: the engine checkpoint
+// plus the wire server's per-client cumulative ack state, so a restart
+// neither replays acked frames nor re-applies them.
+type snapshotV2 struct {
+	Format string            `json:"format"`
+	Seq    map[string]uint64 `json:"seq,omitempty"`
+	Engine json.RawMessage   `json:"engine"`
+}
+
 func main() {
 	var (
 		rulesPath = flag.String("rules", "", "rule script file (required)")
@@ -37,6 +57,10 @@ func main() {
 		keepalive = flag.Duration("keepalive", 0, "keepalive ping interval; dead peers are reaped (0 = off)")
 		peerTO    = flag.Duration("peer-timeout", 0, "drop connections silent longer than this (0 = 3×keepalive)")
 		shards    = flag.Int("shards", 1, "max parallel detection engines; rules partition by reader/group key space (1 = classic single engine)")
+		role      = flag.String("role", "server", "server | worker | coordinator (cluster mode)")
+		clusterWs = flag.String("cluster-workers", "", "comma-separated worker addresses (coordinator role)")
+		bootID    = flag.String("boot-id", "", "worker incarnation ID; must differ across restarts (worker role; default pid+start time)")
+		input     = flag.String("input", "-", "observation CSV, - for stdin (coordinator role)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -47,16 +71,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	switch *role {
+	case "server":
+	case "worker":
+		runWorker(*addr, string(script), *bootID, *shards, *simTypes)
+		return
+	case "coordinator":
+		if *clusterWs == "" {
+			log.Fatal("-role coordinator needs -cluster-workers")
+		}
+		runCoordinator(string(script), *clusterWs, *input, *shards, *simTypes)
+		return
+	default:
+		log.Fatalf("unknown -role %q (server, worker, or coordinator)", *role)
+	}
 	cfg := rcep.Config{Rules: string(script), Shards: *shards}
 	if *simTypes {
 		cfg.TypeOf = sim.NewRegistry().TypeOf
 	}
+	var seqState map[string]uint64
 	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			cfg.Checkpoint = f
-			defer f.Close()
-			log.Printf("restoring checkpoint from %s", *snapshot)
-		} else if !os.IsNotExist(err) {
+		raw, err := os.ReadFile(*snapshot)
+		switch {
+		case err == nil:
+			var v2 snapshotV2
+			if json.Unmarshal(raw, &v2) == nil && v2.Format == "rcepd/v2" {
+				seqState = v2.Seq
+				cfg.Checkpoint = bytes.NewReader(v2.Engine)
+				log.Printf("restoring rcepd/v2 checkpoint from %s (%d reliable client(s))", *snapshot, len(v2.Seq))
+			} else {
+				// Legacy snapshot: the file IS the engine checkpoint.
+				cfg.Checkpoint = bytes.NewReader(raw)
+				log.Printf("restoring checkpoint from %s", *snapshot)
+			}
+		case !os.IsNotExist(err):
 			log.Fatal(err)
 		}
 	}
@@ -80,6 +128,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if len(seqState) > 0 {
+		srv.RestoreSeqState(seqState)
+	}
 	// Unknown procedures log instead of erroring.
 	for _, name := range []string{"send_alarm", "send_duplicate_msg", "mark_duplicate"} {
 		n := name
@@ -100,13 +151,6 @@ func main() {
 	go func() {
 		<-sigs
 		log.Printf("shutting down")
-		if *snapshot != "" {
-			if err := saveSnapshot(srv.Engine(), *snapshot); err != nil {
-				log.Printf("snapshot save failed: %v", err)
-			} else {
-				log.Printf("data store saved to %s", *snapshot)
-			}
-		}
 		l.Close()
 	}()
 
@@ -116,20 +160,33 @@ func main() {
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
+	// Drain before snapshotting: every handler finishes its in-flight
+	// frame and flushes a final cumulative ack, so the saved engine state
+	// and sequence state include everything the feeders were told is
+	// safely applied.
+	srv.Shutdown()
+	if *snapshot != "" {
+		if err := saveSnapshot(srv, *snapshot); err != nil {
+			log.Printf("snapshot save failed: %v", err)
+		} else {
+			log.Printf("data store saved to %s", *snapshot)
+		}
+	}
 	log.Printf("rcepd stopped")
 }
 
-func saveSnapshot(eng *rcep.Engine, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+func saveSnapshot(srv *wire.Server, path string) error {
+	var eng bytes.Buffer
+	if err := srv.Engine().SaveCheckpoint(&eng); err != nil {
+		return err
+	}
+	env := snapshotV2{Format: "rcepd/v2", Seq: srv.SeqState(), Engine: eng.Bytes()}
+	raw, err := json.Marshal(env)
 	if err != nil {
 		return err
 	}
-	if err := eng.SaveCheckpoint(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {

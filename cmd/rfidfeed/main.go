@@ -34,6 +34,13 @@ func main() {
 		spoolPath = flag.String("spool", "", "journal unacked frames here (implies -reconnect)")
 		buffer    = flag.Int("buffer", 1024, "unacked frame ring capacity (reliable mode)")
 		backoff   = flag.Duration("backoff", 50*time.Millisecond, "initial reconnect backoff (reliable mode)")
+		maxBack   = flag.Duration("max-backoff", 0, "reconnect backoff ceiling (reliable mode; 0 = library default)")
+		multi     = flag.Float64("backoff-multiplier", 0, "reconnect backoff growth factor (reliable mode; 0 = library default)")
+		jitter    = flag.Float64("jitter", -1, "reconnect backoff jitter fraction 0..1 (reliable mode; -1 = library default)")
+		maxTries  = flag.Int("max-attempts", 0, "give up after this many consecutive failed reconnects (reliable mode; 0 = retry forever)")
+		drainTO   = flag.Duration("drain-timeout", 0, "bound on waiting for final acks at close (reliable mode; 0 = library default)")
+		keepalive = flag.Duration("keepalive", 0, "ping a silent connection this often (reliable mode; 0 = off)")
+		peerTO    = flag.Duration("peer-timeout", 0, "declare the connection dead after this much silence (reliable mode; 0 = 3×keepalive)")
 		advance   = flag.Duration("advance", 0, "advance the server clock to this offset after the feed (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress per-firing output")
 	)
@@ -67,13 +74,25 @@ func main() {
 			log.Fatal("reliable mode needs -client-id (a stable identity the server dedupes on)")
 		}
 		opt := wire.ReliableOptions{
-			ClientID: *clientID,
-			Buffer:   *buffer,
-			Backoff:  *backoff,
-			OnFire:   onFire,
+			ClientID:     *clientID,
+			Buffer:       *buffer,
+			Backoff:      *backoff,
+			MaxBackoff:   *maxBack,
+			Multiplier:   *multi,
+			MaxAttempts:  *maxTries,
+			DrainTimeout: *drainTO,
+			Keepalive:    *keepalive,
+			PeerTimeout:  *peerTO,
+			OnFire:       onFire,
 			OnReconnect: func(n int) {
 				log.Printf("connection lost, reconnect #%d (unacked frames will be replayed)", n)
 			},
+		}
+		if *jitter >= 0 {
+			opt.Jitter = *jitter
+		}
+		if err := opt.Validate(); err != nil {
+			log.Fatal(err)
 		}
 		if *spoolPath != "" {
 			sp, err := wire.OpenSpool(*spoolPath)

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"rcep/internal/faults"
+)
+
+// TestClusterChaosOracle is the headline robustness proof: across a
+// matrix of seeded fault schedules — every one of which kills and
+// restarts at least one worker mid-stream, many of which also corrupt a
+// stored checkpoint, partition connections, or slow writes — a 4-worker
+// cluster delivers exactly the single-process engine's detection
+// multiset, in exactly the in-process sharded engine's deterministic
+// (fire, rule, seq) order.
+//
+// The seed base comes from CHAOS_SEED_BASE (default 0) so CI can fan the
+// matrix out across jobs without code changes. When a schedule fails,
+// its seed and human-readable fault recipe are appended to
+// CHAOS_FAILURE_FILE (if set) so the exact run can be replayed locally:
+//
+//	CHAOS_SEED_BASE=<seed> go test -race -run TestClusterChaosOracle/seed=<seed> ./internal/core/cluster/
+const chaosSchedules = 24
+
+func TestClusterChaosOracle(t *testing.T) {
+	var base int64
+	if s := os.Getenv("CHAOS_SEED_BASE"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &base); err != nil {
+			t.Fatalf("CHAOS_SEED_BASE=%q: %v", s, err)
+		}
+	}
+	var recMu sync.Mutex
+	record := func(seed int64, plan *faults.ClusterPlan, reason string) {
+		path := os.Getenv("CHAOS_FAILURE_FILE")
+		if path == "" {
+			return
+		}
+		recMu.Lock()
+		defer recMu.Unlock()
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Logf("chaos failure file: %v", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "%s :: %s\n", plan, reason)
+	}
+
+	for i := 0; i < chaosSchedules; i++ {
+		seed := base + int64(i)
+		t.Run(planName(seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			rules := genRules(r, 3+r.Intn(8))
+			stream := genStream(r, 80+r.Intn(80))
+			plan := faults.NewClusterPlan(seed, 4, len(stream))
+
+			oracle := asMultiset(runSingle(t, rules, stream))
+			order := runShard(t, rules, stream, 4)
+
+			got, handoffs, err := runCluster(t, seed, 4, rules, stream, plan)
+			if err != nil {
+				record(seed, plan, err.Error())
+				t.Fatalf("cluster run under %s: %v", plan, err)
+			}
+			if handoffs == 0 {
+				record(seed, plan, "no handoffs despite kill schedule")
+				t.Fatalf("plan %s killed a worker but no handoff happened", plan)
+			}
+			diffStrings(t, "multiset", oracle, asMultiset(got))
+			diffStrings(t, "order", order, got)
+			if t.Failed() {
+				record(seed, plan, "detection mismatch (see test log)")
+				t.Logf("fault schedule: %s", plan)
+			}
+		})
+	}
+}

@@ -1,0 +1,844 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	pctx "rcep/internal/core/context"
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/shard"
+	"rcep/internal/wire"
+)
+
+// ErrClosed is returned by ingestion calls after Close.
+var ErrClosed = errors.New("cluster: coordinator is closed")
+
+// errAssignFailed marks a worker's refusal to accept an assign frame —
+// almost always a checkpoint it could not restore. The recovery is
+// different from a crash: re-place WITHOUT the checkpoint and replay the
+// full journal instead.
+var errAssignFailed = errors.New("cluster: shard assignment rejected")
+
+// Config configures a Coordinator. Rules, Shards, Context, Groups and
+// TypeOf must match every worker's WorkerConfig: both sides derive the
+// same partition and exchange shard numbers as indices into it.
+type Config struct {
+	Rules   []shard.Rule
+	Shards  int // max shards, as in shard.Config (0 = one per rule class)
+	Workers []string
+
+	Context pctx.Context
+	Groups  func(reader string) []string
+	TypeOf  func(object string) string
+
+	// OnDetect receives the merged detections in deterministic
+	// (fire, rule, seq) order — the same order the in-process sharded
+	// engine and (for tie groups) the single engine deliver.
+	OnDetect func(ruleID int, inst *event.Instance)
+
+	// SyncEvery bounds how many observations are routed between delivery
+	// barriers (default 64). Smaller = lower latency and less replay
+	// after a crash; larger = less round-trip overhead.
+	SyncEvery int
+
+	// CheckpointEvery takes a worker checkpoint every N barriers
+	// (default 4; negative disables automatic checkpoints). Checkpoints
+	// bound the journal: observations since the last confirmed
+	// checkpoint are the replay cost of a handoff.
+	CheckpointEvery int
+
+	// RetainJournal keeps the full observation journal instead of
+	// truncating it at each confirmed checkpoint. It buys one extra
+	// recovery: a checkpoint that later turns out corrupt can fall back
+	// to a full replay. Memory grows with the stream.
+	RetainJournal bool
+
+	// Dial opens worker transports (default: 5s TCP dial). Fault
+	// injection hooks in here.
+	Dial func(addr string) (net.Conn, error)
+
+	// BarrierTimeout bounds each worker's reply at a delivery barrier
+	// (default 5s). A worker that misses it is presumed dead and its
+	// shards are re-placed. A spurious timeout (slow worker, not dead)
+	// is safe: the replacement replays from checkpoint + journal and the
+	// merge path dedupes by detection sequence.
+	BarrierTimeout time.Duration
+
+	// LinkKeepalive, when > 0, runs the wire keepalive on each worker
+	// link so silently dead links are detected between barriers.
+	LinkKeepalive time.Duration
+
+	// Checkpoint, when set, restores a cluster/v1 coordinator checkpoint
+	// (SaveCheckpoint) before placing shards: workers resume from the
+	// embedded engine states and the held fire group is preserved.
+	Checkpoint io.Reader
+
+	// Seed makes reconnect jitter reproducible in tests.
+	Seed int64
+
+	// OnHandoff observes shard re-placements (diagnostics). Called with
+	// the coordinator lock held — it must not call back into the
+	// coordinator.
+	OnHandoff func(shardID, fromWorker, toWorker int, cause error)
+}
+
+// jentry is one journaled routing decision: an observation fanned to a
+// shard, or a clock advance. The journal since the last confirmed
+// checkpoint is exactly what a replacement worker must replay.
+type jentry struct {
+	adv            bool
+	reader, object string
+	at             event.Time
+}
+
+// cdet is a merged-but-undelivered detection.
+type cdet struct {
+	fire event.Time
+	rule int
+	dseq uint64
+	inst *event.Instance
+}
+
+// link is one shard's current placement: a reliable client to the
+// hosting worker plus the mailbox its replies land in.
+type link struct {
+	shard, worker, epoch int
+	client               *wire.ReliableClient
+	box                  *mailbox
+	assignSeq            uint64
+}
+
+// mailbox collects worker replies off the link's read goroutine. It has
+// its own lock — never the coordinator's — so reply dispatch can never
+// deadlock against a coordinator blocked in SendFrame/Flush.
+type mailbox struct {
+	mu           sync.Mutex
+	boot         string
+	bootMismatch bool
+	replies      map[uint64]wire.Message // keyed by echoed request seq
+	errs         []wire.Message
+	notify       chan struct{}
+}
+
+func (b *mailbox) ping() {
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Coordinator places shard partitions onto remote workers, routes
+// observations, and merges detections deterministically. All methods are
+// safe for concurrent use; detection callbacks run on the caller's
+// goroutine at delivery barriers, exactly like shard.Engine.
+type Coordinator struct {
+	cfg    Config
+	part   *shard.Partition
+	router *shard.Router
+
+	mu        sync.Mutex
+	links     []*link
+	epoch     []int
+	down      []bool
+	journal   [][]jentry
+	jbase     []int             // absolute stream index of journal[s][0] (0 = journal reaches stream start)
+	ckStart   []int             // journal index the last confirmed checkpoint covers up to
+	lastCk    []json.RawMessage // last confirmed worker checkpoint per shard
+	ckSum     []uint32
+	ckDetSeq  []uint64
+	detHigh   []uint64 // highest merged detection seq per shard (dedupe)
+	pending   []cdet
+	now       event.Time
+	sinceSync int
+	sinceCkpt int
+	ingested  uint64
+	delivered uint64
+	gen       uint64 // coordinator incarnation, bumped at each checkpoint restore
+	handoffs  int
+	closed    bool
+	err       error
+}
+
+// New validates the configuration, computes the partition, optionally
+// restores a coordinator checkpoint, and places every shard. It fails if
+// any initial placement cannot be established.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Rules) == 0 {
+		return nil, errors.New("cluster: Config.Rules is empty")
+	}
+	seen := map[int]bool{}
+	for _, r := range cfg.Rules {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("cluster: duplicate rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: Config.Workers is empty")
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 64
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 4
+	}
+	if cfg.BarrierTimeout <= 0 {
+		cfg.BarrierTimeout = 5 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	if cfg.OnDetect == nil {
+		cfg.OnDetect = func(int, *event.Instance) {}
+	}
+	part := shard.NewPartition(cfg.Rules, cfg.Shards, cfg.Groups)
+	n := part.NumShards()
+	c := &Coordinator{
+		cfg:      cfg,
+		part:     part,
+		router:   shard.NewRouter(part, cfg.Groups),
+		links:    make([]*link, n),
+		epoch:    make([]int, n),
+		down:     make([]bool, len(cfg.Workers)),
+		journal:  make([][]jentry, n),
+		jbase:    make([]int, n),
+		ckStart:  make([]int, n),
+		lastCk:   make([]json.RawMessage, n),
+		ckSum:    make([]uint32, n),
+		ckDetSeq: make([]uint64, n),
+		detHigh:  make([]uint64, n),
+		now:      event.MinTime,
+	}
+	if cfg.Checkpoint != nil {
+		if err := c.restore(cfg.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	placement := placeShards(part, len(cfg.Workers))
+	for s := 0; s < n; s++ {
+		if err := c.startLinkLocked(s, placement[s], len(c.lastCk[s]) > 0); err != nil {
+			c.abortLocked()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// placeShards balances shards across workers: heaviest shard (by rule
+// count) to the least-loaded worker, deterministic tie-break by index —
+// the same LPT idea the partitioner uses for rules-to-shards.
+func placeShards(part *shard.Partition, workers int) []int {
+	n := part.NumShards()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort by descending weight, stable
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if len(part.ByShard[a]) >= len(part.ByShard[b]) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	load := make([]int, workers)
+	placement := make([]int, n)
+	for _, s := range order {
+		best := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[best] {
+				best = w
+			}
+		}
+		placement[s] = best
+		load[best] += len(part.ByShard[s])
+	}
+	return placement
+}
+
+// startLinkLocked establishes shard s on worker wkr under a fresh epoch:
+// dial, assign (with the last confirmed checkpoint unless useCk is
+// false), and replay the journal suffix the checkpoint does not cover.
+func (c *Coordinator) startLinkLocked(s, wkr int, useCk bool) error {
+	c.epoch[s]++
+	box := &mailbox{replies: map[uint64]wire.Message{}, notify: make(chan struct{}, 1)}
+	addr := c.cfg.Workers[wkr]
+	bootDeadline := c.cfg.BarrierTimeout
+	dial := func() (net.Conn, error) {
+		conn, err := c.cfg.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		boot, err := readBoot(conn, bootDeadline)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		box.mu.Lock()
+		prev := box.boot
+		if prev == "" {
+			box.boot = boot
+		} else if prev != boot {
+			box.bootMismatch = true
+		}
+		box.mu.Unlock()
+		if prev != "" && prev != boot {
+			// The worker process restarted: its feed state is gone, so
+			// replaying the unacked suffix into it would silently lose
+			// everything before. Fail the dial; the barrier will notice
+			// and re-place the shard from checkpoint + journal.
+			box.ping()
+			conn.Close()
+			return nil, fmt.Errorf("cluster: worker %s restarted (boot %q, epoch established under %q)", addr, boot, prev)
+		}
+		return conn, nil
+	}
+	onFrame := func(m wire.Message) {
+		box.mu.Lock()
+		switch m.Type {
+		case "dets", "ckptres":
+			box.replies[m.Seq] = m
+		case "error":
+			box.errs = append(box.errs, m)
+		}
+		box.mu.Unlock()
+		box.ping()
+	}
+	replay := c.journal[s]
+	if useCk {
+		replay = replay[c.ckStart[s]:]
+	}
+	// The ring must hold the assign, the whole replay, and a full
+	// barrier window without blocking: SendFrame runs under c.mu, so a
+	// ring that fills against a dead worker would deadlock the
+	// coordinator before the barrier timeout could trigger a handoff.
+	buffer := len(replay) + 2*c.cfg.SyncEvery + 64
+	client, err := wire.DialReliable(addr, wire.ReliableOptions{
+		ClientID:     fmt.Sprintf("coord.g%d.s%d.e%d", c.gen, s, c.epoch[s]),
+		Dial:         dial,
+		Buffer:       buffer,
+		Backoff:      10 * time.Millisecond,
+		MaxBackoff:   500 * time.Millisecond,
+		Seed:         c.cfg.Seed + int64(s)*1009 + int64(c.epoch[s])*7919,
+		DrainTimeout: c.cfg.BarrierTimeout,
+		Keepalive:    c.cfg.LinkKeepalive,
+		OnFrame:      onFrame,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: shard %d on %s: %w", s, addr, err)
+	}
+	lk := &link{shard: s, worker: wkr, epoch: c.epoch[s], client: client, box: box}
+	assign := wire.Message{Type: "assign", Shard: s}
+	if useCk {
+		assign.Ck, assign.Sum, assign.DetSeq = c.lastCk[s], c.ckSum[s], c.ckDetSeq[s]
+	}
+	seq, err := client.SendFrame(assign)
+	if err != nil {
+		client.Abort()
+		return fmt.Errorf("cluster: shard %d on %s: %w", s, addr, err)
+	}
+	lk.assignSeq = seq
+	for _, j := range replay {
+		m := wire.Message{Type: "obs", Reader: j.reader, Object: j.object, AtNS: int64(j.at)}
+		if j.adv {
+			m = wire.Message{Type: "advance", AtNS: int64(j.at)}
+		}
+		if _, err := client.SendFrame(m); err != nil {
+			client.Abort()
+			return fmt.Errorf("cluster: shard %d on %s: replay: %w", s, addr, err)
+		}
+	}
+	c.down[wkr] = false
+	c.links[s] = lk
+	return nil
+}
+
+// readBoot consumes exactly the boot announcement line a worker writes
+// first on every connection. Byte-at-a-time so nothing past the newline
+// is consumed — the wire client's own reader takes over from there.
+func readBoot(conn net.Conn, timeout time.Duration) (string, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	defer conn.SetReadDeadline(time.Time{})
+	line := make([]byte, 0, 64)
+	buf := []byte{0}
+	for {
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return "", fmt.Errorf("cluster: reading boot announcement: %w", err)
+		}
+		if buf[0] == '\n' {
+			break
+		}
+		line = append(line, buf[0])
+		if len(line) > 4096 {
+			return "", errors.New("cluster: boot announcement exceeds 4096 bytes")
+		}
+	}
+	var m wire.Message
+	if err := json.Unmarshal(line, &m); err != nil || m.Type != "boot" || m.Msg == "" {
+		return "", fmt.Errorf("cluster: malformed boot announcement %q", line)
+	}
+	return m.Msg, nil
+}
+
+// Ingest feeds one observation, fanning it out to the shards whose leaf
+// key spaces can match it. Observations must arrive in non-decreasing
+// timestamp order, exactly as for detect.Engine.
+func (c *Coordinator) Ingest(o event.Observation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ingestLocked(o)
+}
+
+// IngestBatch stably sorts a copy of the batch by timestamp and feeds
+// it, atomically with respect to ordering failures.
+func (c *Coordinator) IngestBatch(batch []event.Observation) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	sorted := append([]event.Observation(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.now != event.MinTime && sorted[0].At < c.now {
+		return fmt.Errorf("%w: batch starts at %s, coordinator at %s", detect.ErrOutOfOrder, sorted[0].At, c.now)
+	}
+	for _, o := range sorted {
+		if err := c.ingestLocked(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) ingestLocked(o event.Observation) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.now != event.MinTime && o.At < c.now {
+		return fmt.Errorf("%w: got %s, coordinator at %s", detect.ErrOutOfOrder, o.At, c.now)
+	}
+	c.now = o.At
+	c.ingested++
+	m := wire.Message{Type: "obs", Reader: o.Reader, Object: o.Object, AtNS: int64(o.At)}
+	for _, s := range c.router.ShardsFor(o.Reader) {
+		c.journal[s] = append(c.journal[s], jentry{reader: o.Reader, object: o.Object, at: o.At})
+		// A send failure here is not fatal: the journal has the entry,
+		// and the barrier heals any gap by re-placing and replaying.
+		_, _ = c.links[s].client.SendFrame(m)
+	}
+	c.sinceSync++
+	if c.sinceSync >= c.cfg.SyncEvery {
+		return c.barrierLocked(false, false, false)
+	}
+	return nil
+}
+
+// AdvanceTo moves virtual time forward on every shard with no
+// intervening observations, so negation windows can expire.
+func (c *Coordinator) AdvanceTo(t event.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if t < c.now {
+		return fmt.Errorf("%w: AdvanceTo(%s), coordinator at %s", detect.ErrOutOfOrder, t, c.now)
+	}
+	c.now = t
+	m := wire.Message{Type: "advance", AtNS: int64(t)}
+	for s := range c.links {
+		c.journal[s] = append(c.journal[s], jentry{adv: true, at: t})
+		_, _ = c.links[s].client.SendFrame(m)
+	}
+	c.sinceSync++
+	if c.sinceSync >= c.cfg.SyncEvery {
+		return c.barrierLocked(false, false, false)
+	}
+	return nil
+}
+
+// Sync forces a delivery barrier: every shard catches up to the
+// coordinator's clock and every pending detection is delivered in merged
+// order.
+func (c *Coordinator) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	err := c.barrierLocked(false, true, false)
+	return err
+}
+
+// Close completes every pending detection (each shard fires its
+// remaining pseudo events), delivers the final merged batch, and tears
+// down the worker links. Idempotent; returns the first failure, if any.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.err
+	}
+	c.barrierLocked(true, true, false)
+	c.abortLocked()
+	return c.err
+}
+
+// Abort tears the coordinator down without draining — the crash
+// simulation for recovery tests. Worker links are severed; whatever was
+// not delivered stays undelivered (and is recovered by a restart from
+// the last SaveCheckpoint).
+func (c *Coordinator) Abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.abortLocked()
+}
+
+func (c *Coordinator) abortLocked() {
+	if c.closed {
+		return
+	}
+	for _, lk := range c.links {
+		if lk != nil {
+			lk.client.Abort()
+		}
+	}
+	c.closed = true
+}
+
+// barrierLocked runs one delivery barrier: every shard catches up to the
+// coordinator's clock (strictly — pseudo events due exactly now stay
+// pending), ships its buffered detections, and — on the checkpoint
+// cadence — a fresh checkpoint. Failures trigger handoff and replay
+// per shard. Completed fire-time groups are delivered; deliverAll also
+// flushes the group at the current instant (Sync/Close semantics).
+func (c *Coordinator) barrierLocked(drain, deliverAll, forceCkpt bool) error {
+	c.sinceSync = 0
+	ckpt := forceCkpt
+	if !drain && !forceCkpt && c.cfg.CheckpointEvery > 0 {
+		c.sinceCkpt++
+		if c.sinceCkpt >= c.cfg.CheckpointEvery {
+			ckpt = true
+			c.sinceCkpt = 0
+		}
+	}
+	for s := range c.links {
+		if err := c.syncShardLocked(s, ckpt && !drain, drain); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return c.err
+		}
+	}
+	c.deliverPendingLocked(deliverAll)
+	return c.err
+}
+
+// syncShardLocked drives one shard through the barrier, re-placing it on
+// failure until the barrier succeeds or placements are exhausted.
+func (c *Coordinator) syncShardLocked(s int, ckpt, drain bool) error {
+	maxAttempts := 2*len(c.cfg.Workers) + 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		dets, err := c.barrierAttemptLocked(s, ckpt, drain)
+		if err == nil {
+			c.mergeDetsLocked(s, dets)
+			return nil
+		}
+		lastErr = err
+		if herr := c.handoffLocked(s, err); herr != nil {
+			return herr
+		}
+	}
+	return fmt.Errorf("cluster: shard %d: giving up after %d placements: %w", s, maxAttempts, lastErr)
+}
+
+// barrierAttemptLocked sends sync (or drain) — plus ckpt when due — to
+// the shard's current placement and waits for the replies.
+func (c *Coordinator) barrierAttemptLocked(s int, ckpt, drain bool) ([]wire.ClusterDet, error) {
+	lk := c.links[s]
+	deadline := time.Now().Add(c.cfg.BarrierTimeout)
+	typ := "sync"
+	if drain {
+		typ = "drain"
+	}
+	syncSeq, err := lk.client.SendFrame(wire.Message{Type: typ, AtNS: int64(c.now)})
+	if err != nil {
+		return nil, err
+	}
+	var ckSeq uint64
+	var ckPos int
+	if ckpt {
+		ckPos = len(c.journal[s])
+		if ckSeq, err = lk.client.SendFrame(wire.Message{Type: "ckpt"}); err != nil {
+			return nil, err
+		}
+	}
+	if err := lk.client.Flush(time.Until(deadline)); err != nil {
+		// A rejected assign shows up here first: the worker refuses to
+		// ack (so the flush times out) and reports why in an error
+		// frame. Classify before concluding the worker is dead — the
+		// recovery for a bad checkpoint is a full replay, not a blind
+		// re-placement that would carry the same bad checkpoint along.
+		return nil, classifyLinkErr(lk, err)
+	}
+	sm, err := c.awaitReplyLocked(lk, syncSeq, deadline)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt {
+		cm, err := c.awaitReplyLocked(lk, ckSeq, deadline)
+		if err != nil {
+			// The sync dets are already merged (dedupe makes re-merge
+			// after the handoff harmless); only the checkpoint is lost.
+			c.mergeDetsLocked(s, sm.CDets)
+			return nil, err
+		}
+		c.lastCk[s] = append(json.RawMessage(nil), cm.Ck...)
+		c.ckSum[s] = cm.Sum
+		c.ckDetSeq[s] = cm.DetSeq
+		if c.cfg.RetainJournal {
+			c.ckStart[s] = ckPos
+		} else {
+			c.journal[s] = append([]jentry(nil), c.journal[s][ckPos:]...)
+			c.jbase[s] += ckPos
+			c.ckStart[s] = 0
+		}
+	}
+	return sm.CDets, nil
+}
+
+// classifyLinkErr upgrades a generic link failure to errAssignFailed
+// when the link's mailbox holds the worker's rejection of our assign.
+func classifyLinkErr(lk *link, err error) error {
+	lk.box.mu.Lock()
+	defer lk.box.mu.Unlock()
+	for _, e := range lk.box.errs {
+		if e.Seq == lk.assignSeq {
+			return fmt.Errorf("%w: %s", errAssignFailed, e.Msg)
+		}
+	}
+	return err
+}
+
+// awaitReplyLocked waits for the reply echoing request seq on the link's
+// mailbox, surfacing worker error frames and boot mismatches.
+func (c *Coordinator) awaitReplyLocked(lk *link, seq uint64, deadline time.Time) (wire.Message, error) {
+	box := lk.box
+	for {
+		box.mu.Lock()
+		if m, ok := box.replies[seq]; ok {
+			delete(box.replies, seq)
+			box.mu.Unlock()
+			return m, nil
+		}
+		for _, e := range box.errs {
+			if e.Seq == lk.assignSeq {
+				box.mu.Unlock()
+				return wire.Message{}, fmt.Errorf("%w: %s", errAssignFailed, e.Msg)
+			}
+		}
+		if len(box.errs) > 0 {
+			e := box.errs[0]
+			box.mu.Unlock()
+			return wire.Message{}, fmt.Errorf("cluster: shard %d: worker %s: %s", lk.shard, c.cfg.Workers[lk.worker], e.Msg)
+		}
+		mismatch := box.bootMismatch
+		box.mu.Unlock()
+		if mismatch {
+			return wire.Message{}, fmt.Errorf("cluster: shard %d: worker %s restarted mid-epoch", lk.shard, c.cfg.Workers[lk.worker])
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return wire.Message{}, fmt.Errorf("cluster: shard %d: no barrier reply from %s within %s (presumed dead)", lk.shard, c.cfg.Workers[lk.worker], c.cfg.BarrierTimeout)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-box.notify:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// handoffLocked abandons shard s's current placement and re-places it on
+// the next live worker (round-robin; when every worker is marked down
+// the marks reset — a restarted worker is indistinguishable from a dead
+// one until dialed). An assign rejection falls back to a full journal
+// replay without the checkpoint, when the journal still reaches back far
+// enough.
+func (c *Coordinator) handoffLocked(s int, cause error) error {
+	old := c.links[s]
+	old.client.Abort()
+	c.down[old.worker] = true
+	c.handoffs++
+
+	useCk := len(c.lastCk[s]) > 0
+	if useCk && crc32.ChecksumIEEE(c.lastCk[s]) != c.ckSum[s] {
+		// The stored checkpoint no longer matches the checksum the worker
+		// computed over it — it rotted in coordinator memory. Catch it
+		// here rather than shipping it: corrupt bytes may not even be
+		// valid JSON, in which case the wire writer could never encode
+		// the assign and the worker would never see it to reject it.
+		cause = fmt.Errorf("%w: stored checkpoint for shard %d fails its checksum", errAssignFailed, s)
+	}
+	if errors.Is(cause, errAssignFailed) {
+		if c.jbase[s] != 0 {
+			return fmt.Errorf("cluster: shard %d: checkpoint rejected and journal was truncated past it (enable RetainJournal for full-replay recovery): %w", s, cause)
+		}
+		// Drop the rejected checkpoint: the journal reaches back to the
+		// beginning, so the replacement rebuilds from scratch.
+		c.lastCk[s], c.ckSum[s], c.ckDetSeq[s] = nil, 0, 0
+		c.ckStart[s] = 0
+		useCk = false
+		// The old worker was not at fault — the checkpoint was. Do not
+		// hold the rejection against it.
+		c.down[old.worker] = false
+	}
+
+	n := len(c.cfg.Workers)
+	next := -1
+	for i := 1; i <= n; i++ {
+		w := (old.worker + i) % n
+		if !c.down[w] {
+			next = w
+			break
+		}
+	}
+	if next == -1 {
+		for i := range c.down {
+			c.down[i] = false
+		}
+		next = (old.worker + 1) % n
+	}
+	if cb := c.cfg.OnHandoff; cb != nil {
+		cb(s, old.worker, next, cause)
+	}
+	return c.startLinkLocked(s, next, useCk)
+}
+
+// mergeDetsLocked merges one shard's barrier detections into the pending
+// set, deduping by per-shard detection sequence: a replay after a crash
+// or spurious handoff re-delivers detections the coordinator already
+// merged, and they must not double-fire.
+func (c *Coordinator) mergeDetsLocked(s int, dets []wire.ClusterDet) {
+	for _, d := range dets {
+		if d.Dseq <= c.detHigh[s] {
+			continue
+		}
+		c.detHigh[s] = d.Dseq
+		c.pending = append(c.pending, cdet{
+			fire: event.Time(d.FireNS),
+			rule: d.Rule,
+			dseq: d.Dseq,
+			inst: &event.Instance{
+				Begin: event.Time(d.BeginNS),
+				End:   event.Time(d.EndNS),
+				Binds: d.Binds,
+				Seq:   d.InstSeq,
+			},
+		})
+	}
+}
+
+// deliverPendingLocked sorts the undelivered detections by
+// (fire, rule, seq) and invokes OnDetect for every completed fire-time
+// group — those strictly before the coordinator's clock. The group at
+// the current instant stays pending unless all is set, exactly as in
+// shard.Engine.deliverPending: it may still grow, and delivering it
+// early would make tie order depend on where the barrier fell.
+func (c *Coordinator) deliverPendingLocked(all bool) {
+	sort.Slice(c.pending, func(i, j int) bool {
+		a, b := c.pending[i], c.pending[j]
+		if a.fire != b.fire {
+			return a.fire < b.fire
+		}
+		if a.rule != b.rule {
+			return a.rule < b.rule
+		}
+		return a.dseq < b.dseq
+	})
+	n := len(c.pending)
+	if !all {
+		n = sort.Search(len(c.pending), func(i int) bool { return c.pending[i].fire >= c.now })
+	}
+	for _, d := range c.pending[:n] {
+		c.delivered++
+		c.cfg.OnDetect(d.rule, d.inst)
+	}
+	c.pending = append(c.pending[:0], c.pending[n:]...)
+}
+
+// Partition exposes the rule-to-shard assignment.
+func (c *Coordinator) Partition() *shard.Partition { return c.part }
+
+// Shards returns the number of placed shard engines.
+func (c *Coordinator) Shards() int { return c.part.NumShards() }
+
+// Placement reports which worker currently hosts each shard.
+func (c *Coordinator) Placement() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := make([]int, len(c.links))
+	for s, lk := range c.links {
+		p[s] = lk.worker
+	}
+	return p
+}
+
+// Handoffs reports how many shard re-placements have happened.
+func (c *Coordinator) Handoffs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handoffs
+}
+
+// Now returns the coordinator's virtual clock.
+func (c *Coordinator) Now() event.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Err returns the first unrecoverable failure, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// InjectCheckpointCorruption mutates the stored checkpoint for one shard
+// — the chaos hook proving the corrupt-checkpoint fallback (assign
+// rejection → full journal replay). A no-op when no checkpoint has been
+// taken yet.
+func (c *Coordinator) InjectCheckpointCorruption(s int, mutate func([]byte) []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= len(c.lastCk) || len(c.lastCk[s]) == 0 {
+		return
+	}
+	c.lastCk[s] = mutate(append([]byte(nil), c.lastCk[s]...))
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/core/shard"
+)
+
+// Randomized-workload generators mirroring internal/core/shard's test
+// suite (package-private there, so duplicated): rule sets drawn from the
+// paper's rule shapes over a small reader pool, plus timestamp-sorted
+// streams, so the cluster is proven against the same workloads as the
+// in-process sharded engine.
+
+var genReaders = []string{"r0", "r1", "r2", "r3", "r4", "r5"}
+
+func genGroups(r string) []string {
+	var idx int
+	if _, err := fmt.Sscanf(r, "r%d", &idx); err != nil {
+		return []string{r}
+	}
+	if idx%2 == 0 {
+		return []string{r, "even"}
+	}
+	return []string{r, "odd"}
+}
+
+func genTypeOf(o string) string {
+	if o == "a" || o == "b" {
+		return "laptop"
+	}
+	return ""
+}
+
+func ts(sec float64) event.Time { return event.Time(sec * float64(time.Second)) }
+
+func lit(reader, objVar, timeVar string, preds ...event.Pred) *event.Prim {
+	return &event.Prim{
+		Reader: event.Term{Lit: reader},
+		Object: event.Term{Var: objVar},
+		At:     event.Term{Var: timeVar},
+		Preds:  preds,
+	}
+}
+
+func vars(rVar, oVar, tVar string, preds ...event.Pred) *event.Prim {
+	return &event.Prim{
+		Reader: event.Term{Var: rVar},
+		Object: event.Term{Var: oVar},
+		At:     event.Term{Var: tVar},
+		Preds:  preds,
+	}
+}
+
+func genRule(r *rand.Rand) event.Expr {
+	pick := func() string { return genReaders[r.Intn(len(genReaders))] }
+	grp := "even"
+	if r.Intn(2) == 1 {
+		grp = "odd"
+	}
+	switch r.Intn(7) {
+	case 0:
+		return &event.TSeq{
+			L: lit(pick(), "o1", "t1"), R: lit(pick(), "o2", "t2"),
+			Lo: 200 * time.Millisecond, Hi: 3 * time.Second,
+		}
+	case 1:
+		return &event.Within{
+			X:   &event.Seq{L: lit(pick(), "o", "t1"), R: lit(pick(), "o", "t2")},
+			Max: 5 * time.Second,
+		}
+	case 2:
+		rd := pick()
+		return &event.Within{
+			X:   &event.Seq{L: &event.Not{X: lit(rd, "o", "t1")}, R: lit(rd, "o", "t2")},
+			Max: 4 * time.Second,
+		}
+	case 3:
+		return &event.Within{
+			X: &event.And{
+				L: lit(pick(), "o1", "t1", event.Pred{Fn: "type", Arg: "o1", Op: event.CmpEq, Val: "laptop"}),
+				R: &event.Not{X: lit(pick(), "o2", "t2")},
+			},
+			Max: 2 * time.Second,
+		}
+	case 4:
+		return &event.TSeqPlus{X: lit(pick(), "o", "t"), Lo: 0, Hi: time.Second}
+	case 5:
+		return &event.Within{
+			X: &event.Seq{
+				L: vars("r", "o", "t1", event.Pred{Fn: "group", Arg: "r", Op: event.CmpEq, Val: grp}),
+				R: vars("r", "o", "t2", event.Pred{Fn: "group", Arg: "r", Op: event.CmpEq, Val: grp}),
+			},
+			Max: 5 * time.Second,
+		}
+	default:
+		return &event.Within{
+			X:   &event.Seq{L: vars("r", "o", "u1"), R: vars("r", "o", "u2")},
+			Max: 5 * time.Second,
+		}
+	}
+}
+
+func genRules(r *rand.Rand, n int) []shard.Rule {
+	out := make([]shard.Rule, n)
+	for i := range out {
+		out[i] = shard.Rule{ID: i + 1, Expr: genRule(r)}
+	}
+	return out
+}
+
+func genStream(r *rand.Rand, n int) []event.Observation {
+	var out []event.Observation
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += float64(r.Intn(1500)) / 1000.0
+		reader := genReaders[r.Intn(len(genReaders))]
+		if r.Intn(20) == 0 {
+			reader = "rz"
+		}
+		out = append(out, event.Observation{
+			Reader: reader,
+			Object: string(rune('a' + r.Intn(6))),
+			At:     ts(t),
+		})
+	}
+	return out
+}
+
+func sig(rule int, inst *event.Instance) string {
+	return fmt.Sprintf("%d|%s|%s|%s", rule, inst.Begin, inst.End, inst.Binds.String())
+}
+
+// runSingle replays the stream through one plain detect.Engine holding
+// the whole rule set — the multiset oracle.
+func runSingle(t *testing.T, rules []shard.Rule, stream []event.Observation) []string {
+	t.Helper()
+	b := graph.NewBuilder()
+	for _, r := range rules {
+		if _, err := b.AddRule(r.ID, r.Expr); err != nil {
+			t.Fatalf("AddRule(%d): %v", r.ID, err)
+		}
+	}
+	var got []string
+	eng, err := detect.New(detect.Config{
+		Graph:  b.Finalize(),
+		Groups: genGroups,
+		TypeOf: genTypeOf,
+		OnDetect: func(rid int, inst *event.Instance) {
+			got = append(got, sig(rid, inst))
+		},
+	})
+	if err != nil {
+		t.Fatalf("detect.New: %v", err)
+	}
+	for _, o := range stream {
+		if err := eng.Ingest(o); err != nil {
+			t.Fatalf("oracle Ingest(%v): %v", o, err)
+		}
+	}
+	eng.Close()
+	return got
+}
+
+// runShard replays the stream through the in-process sharded engine with
+// the same partition the cluster uses — the delivery-order oracle.
+func runShard(t *testing.T, rules []shard.Rule, stream []event.Observation, shards int) []string {
+	t.Helper()
+	var got []string
+	eng, err := shard.New(shard.Config{
+		Rules:  rules,
+		Shards: shards,
+		Groups: genGroups,
+		TypeOf: genTypeOf,
+		OnDetect: func(rid int, inst *event.Instance) {
+			got = append(got, sig(rid, inst))
+		},
+		Batch:     3,
+		SyncEvery: 7,
+	})
+	if err != nil {
+		t.Fatalf("shard.New(shards=%d): %v", shards, err)
+	}
+	for _, o := range stream {
+		if err := eng.Ingest(o); err != nil {
+			t.Fatalf("shard Ingest(%v): %v", o, err)
+		}
+	}
+	eng.Close()
+	if err := eng.Err(); err != nil {
+		t.Fatalf("shard Err: %v", err)
+	}
+	return got
+}
+
+func asMultiset(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+func diffStrings(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d detections, oracle has %d", label, len(got), len(want))
+	}
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			t.Errorf("%s: detection %d = %s, oracle %s", label, i, got[i], want[i])
+			return
+		}
+	}
+}

@@ -112,6 +112,13 @@ func (e *Engine) RestoreCheckpoint(r io.Reader) error {
 	if ck.Shards != len(e.workers) {
 		return fmt.Errorf("shard: restore: checkpoint has %d shards, engine has %d", ck.Shards, len(e.workers))
 	}
+	// A truncated file can decode cleanly with short arrays; validate
+	// every per-shard list before indexing so corruption surfaces as an
+	// error, never a panic.
+	if len(ck.Rules) != len(e.workers) || len(ck.Engines) != len(e.workers) {
+		return fmt.Errorf("shard: restore: truncated checkpoint: %d rule lists and %d engine states for %d shards",
+			len(ck.Rules), len(ck.Engines), ck.Shards)
+	}
 	for s := range e.workers {
 		want := e.part.ByShard[s]
 		if len(ck.Rules[s]) != len(want) {

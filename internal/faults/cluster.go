@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ClusterFaultKind names one kind of injected cluster failure.
+type ClusterFaultKind int
+
+const (
+	// FaultKill crashes a worker process: connections sever and the
+	// worker's engine state is gone (next incarnation has a new boot ID).
+	FaultKill ClusterFaultKind = iota
+	// FaultRestart brings a previously killed worker back on the same
+	// address with a fresh boot ID.
+	FaultRestart
+	// FaultPartition severs a worker's live connections but keeps its
+	// process (and engine state) intact — the reconnect replays through.
+	FaultPartition
+	// FaultSlow makes a worker's writes lag, provoking barrier timeouts
+	// and spurious (but correctness-neutral) handoffs.
+	FaultSlow
+	// FaultCorruptCheckpoint flips bytes in the coordinator's stored
+	// checkpoint for one shard (Worker holds the shard index), forcing
+	// the assign-rejection → full-journal-replay fallback at the next
+	// handoff.
+	FaultCorruptCheckpoint
+)
+
+func (k ClusterFaultKind) String() string {
+	switch k {
+	case FaultKill:
+		return "kill"
+	case FaultRestart:
+		return "restart"
+	case FaultPartition:
+		return "partition"
+	case FaultSlow:
+		return "slow"
+	case FaultCorruptCheckpoint:
+		return "corrupt-checkpoint"
+	}
+	return fmt.Sprintf("ClusterFaultKind(%d)", int(k))
+}
+
+// ClusterFault is one scheduled failure: inject Kind against Worker just
+// before ingesting the AtObs-th observation of the stream.
+type ClusterFault struct {
+	AtObs  int
+	Kind   ClusterFaultKind
+	Worker int // target worker index (FaultCorruptCheckpoint: shard index)
+}
+
+// ClusterPlan is a seeded, reproducible cluster fault schedule.
+type ClusterPlan struct {
+	Seed   int64
+	Faults []ClusterFault // ascending AtObs; ties apply in slice order
+}
+
+// NewClusterPlan draws a fault schedule for a stream of streamLen
+// observations against a cluster of workers. Every plan is guaranteed to
+// kill at least one worker mid-stream and restart it before the stream
+// ends — the recovery path under test — and may add a second kill, a
+// partition, a slow worker, and a corrupt stored checkpoint (placed just
+// before a kill so the fallback is actually exercised). Two calls with
+// the same arguments produce the same plan.
+func NewClusterPlan(seed int64, workers, streamLen int) *ClusterPlan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &ClusterPlan{Seed: seed}
+	if workers < 1 || streamLen < 8 {
+		return p
+	}
+	kills := 1 + rng.Intn(2)
+	for k := 0; k < kills; k++ {
+		w := rng.Intn(workers)
+		at := 1 + streamLen/8 + rng.Intn(streamLen/2)
+		back := at + 1 + rng.Intn(streamLen/4+1)
+		if back >= streamLen {
+			back = streamLen - 1
+		}
+		if back <= at {
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			// Sometimes the stored checkpoint for a random shard is
+			// corrupt when the kill forces a handoff.
+			p.Faults = append(p.Faults, ClusterFault{AtObs: at, Kind: FaultCorruptCheckpoint, Worker: rng.Intn(workers * 4)})
+		}
+		p.Faults = append(p.Faults,
+			ClusterFault{AtObs: at, Kind: FaultKill, Worker: w},
+			ClusterFault{AtObs: back, Kind: FaultRestart, Worker: w},
+		)
+	}
+	if rng.Intn(2) == 0 {
+		p.Faults = append(p.Faults, ClusterFault{
+			AtObs: 1 + rng.Intn(streamLen-2), Kind: FaultPartition, Worker: rng.Intn(workers),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		p.Faults = append(p.Faults, ClusterFault{
+			AtObs: 1 + rng.Intn(streamLen-2), Kind: FaultSlow, Worker: rng.Intn(workers),
+		})
+	}
+	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].AtObs < p.Faults[j].AtObs })
+	return p
+}
+
+// String renders the plan compactly — the reproduction recipe a failing
+// chaos test logs (and CI uploads as an artifact).
+func (p *ClusterPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, f := range p.Faults {
+		fmt.Fprintf(&b, " @%d:%s(w%d)", f.AtObs, f.Kind, f.Worker)
+	}
+	return b.String()
+}

@@ -66,7 +66,7 @@ type ReliableOptions struct {
 
 	Backoff    time.Duration // initial reconnect delay (default 50ms)
 	MaxBackoff time.Duration // backoff cap (default 5s)
-	Multiplier float64       // backoff growth factor (default 2)
+	Multiplier float64       // backoff growth factor (default 2; 0 = default)
 	Jitter     float64       // ± fraction of each delay (default 0.2)
 	Seed       int64         // seeds the jitter for reproducible tests
 	// MaxAttempts caps consecutive failed dials before the client fails
@@ -77,6 +77,16 @@ type ReliableOptions struct {
 	// the final stats exchange (default 10s).
 	DrainTimeout time.Duration
 
+	// Keepalive, when > 0, sends a ping frame to the server on this
+	// interval while a session is up, so a silently dead link is detected
+	// even when the feed itself is idle. PeerTimeout is the matching read
+	// deadline: a server that sends nothing (acks, pongs, pings, fires)
+	// for longer than PeerTimeout is treated as dead and the client
+	// reconnects. Zero PeerTimeout with Keepalive set defaults to
+	// 3×Keepalive; both zero disables the machinery.
+	Keepalive   time.Duration
+	PeerTimeout time.Duration
+
 	// Spool, when set, journals every sequenced frame and ack so a
 	// restarted process resumes the feed (see OpenSpool).
 	Spool *Spool
@@ -85,35 +95,88 @@ type ReliableOptions struct {
 	// OnReconnect is called after each lost session, with the total
 	// reconnect count.
 	OnReconnect func(reconnects int)
+	// OnFrame observes server frames the client does not consume itself
+	// (anything but ack/fire/ping/stats — e.g. error frames, or the
+	// cluster protocol's dets/ckptres replies). It runs on the session's
+	// read goroutine: it must not block on this client's own Send/Flush.
+	OnFrame func(Message)
+}
+
+// Validate rejects nonsensical option values with an error naming the
+// field, instead of silently "defaulting" them into something the caller
+// did not ask for. Zero values still mean "use the default".
+func (o *ReliableOptions) Validate() error {
+	if o.ClientID == "" {
+		return errors.New("wire: ReliableOptions.ClientID is required")
+	}
+	if o.Buffer < 0 {
+		return fmt.Errorf("wire: negative unacked-ring size %d", o.Buffer)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"Backoff", o.Backoff},
+		{"MaxBackoff", o.MaxBackoff},
+		{"DrainTimeout", o.DrainTimeout},
+		{"Keepalive", o.Keepalive},
+		{"PeerTimeout", o.PeerTimeout},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("wire: negative %s %v", d.name, d.v)
+		}
+	}
+	if o.MaxBackoff > 0 && o.Backoff > 0 && o.MaxBackoff < o.Backoff {
+		return fmt.Errorf("wire: MaxBackoff %v below initial Backoff %v", o.MaxBackoff, o.Backoff)
+	}
+	if o.Multiplier != 0 && o.Multiplier < 1 {
+		return fmt.Errorf("wire: backoff Multiplier %v < 1 would shrink delays", o.Multiplier)
+	}
+	if o.Jitter < 0 || o.Jitter > 1 {
+		return fmt.Errorf("wire: Jitter %v outside [0, 1]", o.Jitter)
+	}
+	if o.MaxAttempts < 0 {
+		return fmt.Errorf("wire: negative MaxAttempts %d", o.MaxAttempts)
+	}
+	if o.PeerTimeout > 0 && o.Keepalive > 0 && o.PeerTimeout <= o.Keepalive {
+		return fmt.Errorf("wire: PeerTimeout %v not above Keepalive %v would reap live links", o.PeerTimeout, o.Keepalive)
+	}
+	return nil
 }
 
 // DialReliable starts a reliable feed to addr. It returns immediately;
 // the connection is established (and re-established) in the background,
 // and Send buffers until the link is up.
 func DialReliable(addr string, opt ReliableOptions) (*ReliableClient, error) {
-	if opt.ClientID == "" {
-		return nil, errors.New("wire: ReliableOptions.ClientID is required")
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	if opt.Dial == nil {
 		opt.Dial = func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 5*time.Second) }
 	}
-	if opt.Buffer <= 0 {
+	if opt.Buffer == 0 {
 		opt.Buffer = 1024
 	}
-	if opt.Backoff <= 0 {
+	if opt.Backoff == 0 {
 		opt.Backoff = 50 * time.Millisecond
 	}
-	if opt.MaxBackoff <= 0 {
+	if opt.MaxBackoff == 0 {
 		opt.MaxBackoff = 5 * time.Second
 	}
-	if opt.Multiplier <= 1 {
+	if opt.MaxBackoff < opt.Backoff {
+		opt.MaxBackoff = opt.Backoff
+	}
+	if opt.Multiplier == 0 {
 		opt.Multiplier = 2
 	}
-	if opt.Jitter <= 0 {
+	if opt.Jitter == 0 {
 		opt.Jitter = 0.2
 	}
-	if opt.DrainTimeout <= 0 {
+	if opt.DrainTimeout == 0 {
 		opt.DrainTimeout = 10 * time.Second
+	}
+	if opt.PeerTimeout == 0 && opt.Keepalive > 0 {
+		opt.PeerTimeout = 3 * opt.Keepalive
 	}
 	c := &ReliableClient{
 		opt:     opt,
@@ -141,39 +204,54 @@ func DialReliable(addr string, opt ReliableOptions) (*ReliableClient, error) {
 // when the unacked ring is full, and fails once the client is closing or
 // terminally failed.
 func (c *ReliableClient) Send(reader, object string, at time.Duration) error {
-	return c.enqueue(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+	_, err := c.enqueue(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+	return err
 }
 
 // Advance moves the server's virtual clock forward, with the same
 // delivery guarantee as Send: advances change detection state (negation
 // windows close on them), so they are sequenced and replayed too.
 func (c *ReliableClient) Advance(at time.Duration) error {
-	return c.enqueue(Message{Type: "advance", AtNS: int64(at)})
+	_, err := c.enqueue(Message{Type: "advance", AtNS: int64(at)})
+	return err
 }
 
-func (c *ReliableClient) enqueue(m Message) error {
+// SendFrame enqueues an arbitrary protocol frame through the sequenced,
+// acked, replayed delivery path — the transport for protocol extensions
+// (the cluster coordinator's assign/sync/ckpt/drain frames). The frame's
+// ClientID and Seq are assigned by the client; Type must be set. It
+// returns the sequence number assigned to the frame, so a caller can
+// match a later reply that echoes it.
+func (c *ReliableClient) SendFrame(m Message) (uint64, error) {
+	if m.Type == "" {
+		return 0, errors.New("wire: SendFrame requires a frame type")
+	}
+	return c.enqueue(m)
+}
+
+func (c *ReliableClient) enqueue(m Message) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for len(c.ring) >= c.opt.Buffer && c.failed == nil && !c.closing {
+	for len(c.ring) >= c.opt.Buffer && c.failed == nil && !c.closing && !c.aborted {
 		c.cond.Wait()
 	}
 	if c.failed != nil {
-		return c.failed
+		return 0, c.failed
 	}
-	if c.closing {
-		return errors.New("wire: client is closed")
+	if c.closing || c.aborted {
+		return 0, errors.New("wire: client is closed")
 	}
 	m.ClientID = c.opt.ClientID
 	m.Seq = c.next
 	if c.opt.Spool != nil {
 		if err := c.opt.Spool.Append(m); err != nil {
-			return fmt.Errorf("wire: spool: %w", err)
+			return 0, fmt.Errorf("wire: spool: %w", err)
 		}
 	}
 	c.next++
 	c.ring = append(c.ring, m)
 	c.cond.Broadcast()
-	return nil
+	return m.Seq, nil
 }
 
 // Flush blocks until every frame sent so far is acked, the timeout
@@ -239,7 +317,7 @@ func (c *ReliableClient) Close() (Message, error) {
 	c.closing = true
 	c.wantBye = true
 	c.cond.Broadcast()
-	for !c.haveStats && c.failed == nil && !c.timedOut {
+	for !c.haveStats && c.failed == nil && !c.timedOut && !c.aborted {
 		c.cond.Wait()
 	}
 	stats, ok := c.stats, c.haveStats
@@ -261,6 +339,20 @@ func (c *ReliableClient) Close() (Message, error) {
 		err = fmt.Errorf("wire: close timed out with %d frames unacked", unacked)
 	}
 	return Message{}, err
+}
+
+// Abort stops the client immediately: no drain, no bye/stats exchange.
+// Unacked frames are dropped from memory but stay in the spool (if any)
+// for a later process. It is the teardown for a peer that is already
+// gone — a cluster coordinator abandoning the link to a crashed worker
+// uses it so re-placement is not gated on a drain timeout. Idempotent;
+// safe to combine with a later Close (which returns promptly).
+func (c *ReliableClient) Abort() {
+	c.abort()
+	<-c.doneCh
+	if sp := c.opt.Spool; sp != nil {
+		_ = sp.Close()
+	}
 }
 
 // abort stops the connection manager (idempotent).
@@ -404,11 +496,37 @@ func (c *ReliableClient) session(conn net.Conn) bool {
 		return false
 	}
 
+	// Client-side keepalive: ping the server on the interval so a
+	// silently dead link fails the read deadline below instead of
+	// blocking an idle feed forever.
+	if c.opt.Keepalive > 0 {
+		stopPing := make(chan struct{})
+		defer close(stopPing)
+		go func() {
+			t := time.NewTicker(c.opt.Keepalive)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := write(Message{Type: "ping"}); err != nil {
+						kill()
+						return
+					}
+				case <-stopPing:
+					return
+				}
+			}
+		}()
+	}
+
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
 		dec := json.NewDecoder(bufio.NewReader(conn))
 		for {
+			if c.opt.PeerTimeout > 0 {
+				_ = conn.SetReadDeadline(time.Now().Add(c.opt.PeerTimeout))
+			}
 			var m Message
 			if err := dec.Decode(&m); err != nil {
 				kill()
@@ -430,6 +548,8 @@ func (c *ReliableClient) session(conn net.Conn) bool {
 					kill()
 					return
 				}
+			case "pong":
+				// Keepalive reply; the read itself refreshed the deadline.
 			case "stats":
 				c.mu.Lock()
 				c.stats = m
@@ -438,10 +558,15 @@ func (c *ReliableClient) session(conn net.Conn) bool {
 				c.cond.Broadcast()
 				kill()
 				return
+			default:
+				// Frames the client does not consume itself — error
+				// frames (the engine rejected a frame; redelivery cannot
+				// fix it, so they are not fatal to the session) and
+				// protocol-extension replies — go to OnFrame.
+				if cb := c.opt.OnFrame; cb != nil {
+					cb(m)
+				}
 			}
-			// error frames: the engine rejected a frame (e.g. timestamp
-			// order); redelivery cannot fix it, so they are not fatal
-			// to the session.
 		}
 	}()
 

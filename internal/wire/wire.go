@@ -79,6 +79,36 @@ type Message struct {
 	Observations uint64 `json:"observations,omitempty"`
 	Detections   uint64 `json:"detections,omitempty"`
 	Shards       int    `json:"shards,omitempty"` // detection shards serving the engine
+
+	// cluster mode (internal/core/cluster). Coordinator → worker frames
+	// reuse the sequenced obs/advance machinery and add: "assign" (host
+	// shard Shard, restoring Ck and resuming the detection counter at
+	// DetSeq), "sync" (catch up to AtNS and return buffered detections),
+	// "ckpt" (return a checkpoint), "drain" (close the shard engine).
+	// Worker → coordinator: "dets" (CDets at a barrier), "ckptres"
+	// (Ck + DetSeq), "boot" (Msg carries the worker's boot ID, so a
+	// reconnecting coordinator can tell a restarted worker from a
+	// transient network failure).
+	Shard  int             `json:"shard,omitempty"`
+	DetSeq uint64          `json:"det_seq,omitempty"`
+	Ck     json.RawMessage `json:"ck,omitempty"`
+	Sum    uint32          `json:"sum,omitempty"` // CRC-32 (IEEE) of Ck, end to end
+	CDets  []ClusterDet    `json:"cdets,omitempty"`
+}
+
+// ClusterDet is one detection shipped from a cluster worker to the
+// coordinator at a delivery barrier. Dseq is the worker-side per-shard
+// detection counter: it survives checkpoint handoff, so the coordinator
+// can both dedupe re-delivered detections after a replay and preserve the
+// same-rule tie order in the merged (fire, rule, seq) delivery.
+type ClusterDet struct {
+	Rule    int            `json:"rule"`
+	Dseq    uint64         `json:"dseq"`
+	FireNS  int64          `json:"fire_ns"`
+	BeginNS int64          `json:"begin_ns"`
+	EndNS   int64          `json:"end_ns"`
+	InstSeq uint64         `json:"inst_seq,omitempty"`
+	Binds   event.Bindings `json:"binds,omitempty"`
 }
 
 // Server serves one shared engine to any number of connections.
@@ -93,7 +123,9 @@ type Server struct {
 	eng     *rcep.Engine
 	ingest  func(event.Observation) error // stage chain ending in the engine
 	flush   func() error                  // reorder flush, when configured
-	clients map[*json.Encoder]*sync.Mutex
+	clients map[*clientConn]bool
+	closing bool
+	wg      sync.WaitGroup // live connection handlers
 	opts    serverOpts
 
 	// seqMu guards lastSeq: highest sequence number applied per client
@@ -101,6 +133,16 @@ type Server struct {
 	// client's replayed frames dedupe correctly.
 	seqMu   sync.Mutex
 	lastSeq map[string]uint64
+}
+
+// clientConn is one registered connection: its encoder, the write lock
+// shared by handler replies and broadcasts, and the reliable client IDs
+// seen on it (so a draining shutdown can flush their cumulative acks).
+type clientConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	mu   sync.Mutex
+	ids  map[string]bool
 }
 
 // Option tunes a Server.
@@ -146,7 +188,7 @@ func WithPeerTimeout(d time.Duration) Option {
 // OnDetection, if set, still runs in addition to the broadcast.
 func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
 	s := &Server{
-		clients: map[*json.Encoder]*sync.Mutex{},
+		clients: map[*clientConn]bool{},
 		lastSeq: map[string]uint64{},
 	}
 	var so serverOpts
@@ -213,37 +255,103 @@ func (s *Server) Serve(l net.Listener) error {
 
 func (s *Server) broadcast(m Message) {
 	s.cmu.Lock()
-	encs := make([]*json.Encoder, 0, len(s.clients))
-	locks := make([]*sync.Mutex, 0, len(s.clients))
-	for e, l := range s.clients {
-		encs = append(encs, e)
-		locks = append(locks, l)
+	conns := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		conns = append(conns, c)
 	}
 	s.cmu.Unlock()
-	for i, e := range encs {
-		locks[i].Lock()
-		_ = e.Encode(m) // a dead client is detached by its handler
-		locks[i].Unlock()
+	for _, c := range conns {
+		c.mu.Lock()
+		_ = c.enc.Encode(m) // a dead client is detached by its handler
+		c.mu.Unlock()
+	}
+}
+
+// Shutdown drains the server for a clean restart: every connection
+// handler finishes the frame it is processing, flushes a final cumulative
+// ack for each reliable client it served, and only then is the connection
+// closed. Without the final ack flush a client whose last ack was lost in
+// the close race would replay frames the engine already applied — harmless
+// for correctness (the seq dedupe would drop them on a live server) but a
+// forced replay after every clean restart, and an actual re-application
+// unless the seq state is restored too (see SeqState). Call after closing
+// the listener; Shutdown returns once every handler has exited.
+func (s *Server) Shutdown() {
+	s.cmu.Lock()
+	s.closing = true
+	conns := make([]*clientConn, 0, len(s.clients))
+	for c := range s.clients {
+		conns = append(conns, c)
+	}
+	s.cmu.Unlock()
+	// An immediate read deadline makes each handler's pending Decode
+	// return after the in-flight frame; the handler sees closing=true and
+	// flushes final acks on its way out.
+	for _, c := range conns {
+		_ = c.conn.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
+}
+
+// SeqState snapshots the per-client cumulative ack state (highest applied
+// sequence number per client ID). Persist it alongside the engine
+// checkpoint and hand it to RestoreSeqState on restart, so reconnecting
+// reliable clients skip frames the previous process already applied
+// instead of replaying them into the restored engine.
+func (s *Server) SeqState() map[string]uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	out := make(map[string]uint64, len(s.lastSeq))
+	for id, seq := range s.lastSeq {
+		out[id] = seq
+	}
+	return out
+}
+
+// RestoreSeqState seeds the per-client dedupe state from a previous
+// process's SeqState snapshot. Call before Serve.
+func (s *Server) RestoreSeqState(state map[string]uint64) {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	for id, seq := range state {
+		if seq > s.lastSeq[id] {
+			s.lastSeq[id] = seq
+		}
 	}
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	enc := json.NewEncoder(conn)
-	encMu := &sync.Mutex{}
+	cc := &clientConn{conn: conn, enc: json.NewEncoder(conn), ids: map[string]bool{}}
 	s.cmu.Lock()
-	s.clients[enc] = encMu
+	if s.closing {
+		s.cmu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.clients[cc] = true
 	s.cmu.Unlock()
 	defer func() {
 		s.cmu.Lock()
-		delete(s.clients, enc)
+		delete(s.clients, cc)
+		closing := s.closing
 		s.cmu.Unlock()
+		if closing {
+			// Draining shutdown: flush a final cumulative ack per served
+			// client so the peer can release its unacked ring/spool.
+			for id := range cc.ids {
+				cc.mu.Lock()
+				_ = cc.enc.Encode(Message{Type: "ack", ClientID: id, Seq: s.ackedSeq(id)})
+				cc.mu.Unlock()
+			}
+		}
+		s.wg.Done()
 	}()
 
 	reply := func(m Message) {
-		encMu.Lock()
-		defer encMu.Unlock()
-		_ = enc.Encode(m)
+		cc.mu.Lock()
+		defer cc.mu.Unlock()
+		_ = cc.enc.Encode(m)
 	}
 
 	// Keepalive: ping on an interval; a peer that stays silent past the
@@ -285,6 +393,7 @@ func (s *Server) handle(conn net.Conn) {
 			// can release its buffer.
 			fresh := true
 			if m.ClientID != "" && m.Seq > 0 {
+				cc.ids[m.ClientID] = true
 				fresh, _ = s.claimSeq(m.ClientID, m.Seq)
 			}
 			var err error
@@ -315,7 +424,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "hello":
 			// Resume probe: tell the client how far this feed already got.
+			if m.ClientID != "" {
+				cc.ids[m.ClientID] = true
+			}
 			reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+		case "ping":
+			// Client-side keepalive probe (ReliableOptions.Keepalive).
+			reply(Message{Type: "pong"})
 		case "pong":
 			// Keepalive reply; receiving it already refreshed the deadline.
 		case "query":
