@@ -8,10 +8,14 @@
 //	experiments fig9 [-quick]     processing time vs #events and vs #rules (paper §5)
 //	experiments ablation [-quick] sub-graph merging, ECA throughput, contexts
 //	experiments shard [-quick]    sharded engine throughput sweep (writes BENCH_shard.json)
+//	experiments hotpath [-quick] [-check]
+//	                              compiled vs interpreted hot path (writes BENCH_hotpath.json;
+//	                              -check gates against the committed baseline)
 //	experiments all [-quick]      everything above
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +38,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller sweeps for fast runs")
+	check := fs.Bool("check", false, "hotpath: fail when compiled falls behind interpreted or the committed BENCH_hotpath.json baseline")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -47,6 +52,8 @@ func main() {
 		ablation(*quick)
 	case "shard":
 		shardSweep(*quick)
+	case "hotpath":
+		hotpathSweep(*quick, *check)
 	case "graph":
 		graphDot()
 	case "all":
@@ -55,14 +62,107 @@ func main() {
 		fig9(*quick)
 		ablation(*quick)
 		shardSweep(*quick)
+		hotpathSweep(*quick, *check)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|shard|graph|all [-quick]")
+	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|shard|hotpath|graph|all [-quick] [-check]")
 	os.Exit(2)
+}
+
+// hotpathSweep measures the compiled hot path against the interpreted
+// oracle and writes BENCH_hotpath.json. With check set, it exits nonzero
+// when the compiled single-shard run is slower than the interpreter or
+// regresses more than 10% below the committed baseline's throughput —
+// the CI regression gate.
+func hotpathSweep(quick, check bool) {
+	events, nrules := 100_000, 400
+	if quick {
+		events, nrules = 10_000, 100
+	}
+	fmt.Println("=== Hot path: compiled plans + interning vs AST interpreter ===")
+	var baseline *bench.HotpathReport
+	if check {
+		// Read the committed baseline before overwriting the file.
+		if f, err := os.Open("BENCH_hotpath.json"); err == nil {
+			baseline = &bench.HotpathReport{}
+			if err := json.NewDecoder(f).Decode(baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "hotpath: unreadable baseline BENCH_hotpath.json: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "hotpath: -check without a committed BENCH_hotpath.json baseline")
+			os.Exit(1)
+		}
+	}
+	rep, err := bench.SweepHotpath([]int{1, 2, 4, 8}, events, nrules, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep.PrintTable(os.Stdout)
+	f, err := os.Create("BENCH_hotpath.json")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		panic(err)
+	}
+	fmt.Println("wrote BENCH_hotpath.json")
+	if check {
+		if err := hotpathCheck(rep, baseline, events, nrules); err != nil {
+			fmt.Fprintf(os.Stderr, "hotpath: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("hotpath check: OK")
+	}
+	fmt.Println()
+}
+
+// hotpathCheck is the regression gate: the compiled single-shard run must
+// beat the interpreter and stay within 10% of the committed baseline's
+// compiled throughput. Perf cells are noisy, so a failing cell is
+// re-measured (fresh engines, same workload) up to two more times and the
+// gate passes if any attempt does; a real regression fails all three.
+func hotpathCheck(rep, baseline *bench.HotpathReport, events, nrules int) error {
+	var baseEPS float64
+	if baseline.Events == rep.Events && baseline.Rules == rep.Rules {
+		for _, bp := range baseline.Points {
+			if bp.Shards == 1 {
+				baseEPS = bp.Compiled.EPS
+			}
+		}
+	} else {
+		fmt.Printf("hotpath check: baseline shape (%d events, %d rules) differs from this run; gating on interpreted only\n",
+			baseline.Events, baseline.Rules)
+	}
+	attempt := func(p bench.HotpathPoint) error {
+		if p.Compiled.EPS < p.Interpreted.EPS {
+			return fmt.Errorf("compiled single-shard %.0f eps is below interpreted %.0f eps", p.Compiled.EPS, p.Interpreted.EPS)
+		}
+		if baseEPS > 0 && p.Compiled.EPS < baseEPS*0.9 {
+			return fmt.Errorf("compiled single-shard %.0f eps dropped >10%% below the committed baseline's %.0f eps", p.Compiled.EPS, baseEPS)
+		}
+		return nil
+	}
+	single := rep.Points[0]
+	if single.Shards != 1 {
+		return fmt.Errorf("sweep did not start at shards=1")
+	}
+	err := attempt(single)
+	for retry := 0; err != nil && retry < 2; retry++ {
+		fmt.Printf("hotpath check: attempt failed (%v); re-measuring shards=1\n", err)
+		again, serr := bench.SweepHotpath([]int{1}, events, nrules, 1)
+		if serr != nil {
+			return serr
+		}
+		err = attempt(again.Points[0])
+	}
+	return err
 }
 
 // shardSweep measures the sharded engine (internal/core/shard) against the

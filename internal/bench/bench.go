@@ -106,6 +106,7 @@ type Options struct {
 	DisableMerging  bool
 	IncludeActions  bool // run conditions and actions (excluded by default, as in the paper)
 	IndexPrimitives bool // A5: reader-literal dispatch instead of probing every leaf
+	Interpreted     bool // force the per-event AST interpreter (oracle for the compiled hot path)
 }
 
 // Result is one measured run.
@@ -144,6 +145,7 @@ func RunRCEDA(w *Workload, opts Options) (Result, error) {
 		st := store.OpenRFID()
 		x = rules.NewExecutor(rs, st, noopProcs(), nil)
 		x.TraceFirings = false
+		x.Interpreted = opts.Interpreted
 		onDetectX := func(rid int, in *event.Instance) {
 			detections++
 			x.Dispatch(rid, in)
@@ -163,6 +165,7 @@ func RunRCEDA(w *Workload, opts Options) (Result, error) {
 		TypeOf:          w.TypeOf,
 		OnDetect:        onDetect,
 		IndexPrimitives: opts.IndexPrimitives,
+		Interpreted:     opts.Interpreted,
 	})
 	if err != nil {
 		return Result{}, err

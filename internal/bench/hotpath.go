@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"time"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/core/shard"
+	"rcep/internal/rules"
+)
+
+// Hot-path regression harness (DESIGN.md §9): the same supply-chain
+// workload runs through the interpreted oracle and the compiled plans at
+// each shard count. Every run folds its detection stream — (rule, begin,
+// end, bindings) in delivery order — into an order-sensitive hash, so the
+// report itself witnesses that the two paths produced byte-identical
+// streams; the sweep fails loudly when they diverge.
+
+// HotpathRun is one measured (mode, shard count) cell.
+type HotpathRun struct {
+	ElapsedNS   int64   `json:"elapsed_ns"`
+	EPS         float64 `json:"throughput_eps"`
+	Detections  uint64  `json:"detections"`
+	AllocsPerEv float64 `json:"allocs_per_event"`
+	StreamHash  string  `json:"stream_hash"`
+}
+
+// HotpathPoint compares the two paths at one shard count.
+type HotpathPoint struct {
+	Shards      int        `json:"shards"`
+	Workers     int        `json:"workers"`
+	Interpreted HotpathRun `json:"interpreted"`
+	Compiled    HotpathRun `json:"compiled"`
+	Speedup     float64    `json:"speedup_compiled_vs_interpreted"`
+}
+
+// HotpathReport is the BENCH_hotpath.json schema.
+type HotpathReport struct {
+	Workload string         `json:"workload"`
+	Events   int            `json:"events"`
+	Rules    int            `json:"rules"`
+	Points   []HotpathPoint `json:"points"`
+}
+
+// hotpathRun measures one pass. shards ≤ 1 runs the single detect engine;
+// larger counts run the sharded engine with routed batches.
+func hotpathRun(w *Workload, shards int, interpreted bool) (HotpathRun, int, error) {
+	rs, err := w.parseRules()
+	if err != nil {
+		return HotpathRun{}, 0, err
+	}
+	h := fnv.New64a()
+	var detections uint64
+	onDetect := func(rid int, inst *event.Instance) {
+		detections++
+		fmt.Fprintf(h, "%d|%d|%d|%s\n", rid, inst.Begin, inst.End, inst.Binds.String())
+	}
+
+	workers := 1
+	var ingest func() error
+	var closeEng func()
+	var closeErr error
+	if shards <= 1 {
+		b := graph.NewBuilder()
+		x := rules.NewExecutor(rs, nil, nil, nil)
+		if err := x.Bind(b); err != nil {
+			return HotpathRun{}, 0, err
+		}
+		eng, err := detect.New(detect.Config{
+			Graph:       b.Finalize(),
+			Groups:      w.Groups,
+			TypeOf:      w.TypeOf,
+			OnDetect:    onDetect,
+			Interpreted: interpreted,
+		})
+		if err != nil {
+			return HotpathRun{}, 0, err
+		}
+		ingest = func() error {
+			for _, o := range w.Observations {
+				if err := eng.Ingest(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		closeEng = eng.Close
+	} else {
+		shRules := make([]shard.Rule, len(rs.Rules))
+		for i, r := range rs.Rules {
+			shRules[i] = shard.Rule{ID: i, Expr: r.Event}
+		}
+		eng, err := shard.New(shard.Config{
+			Rules:       shRules,
+			Shards:      shards,
+			Groups:      w.Groups,
+			TypeOf:      w.TypeOf,
+			OnDetect:    onDetect,
+			Interpreted: interpreted,
+		})
+		if err != nil {
+			return HotpathRun{}, 0, err
+		}
+		workers = eng.Shards()
+		ingest = func() error {
+			const batch = 256
+			for lo := 0; lo < len(w.Observations); lo += batch {
+				hi := lo + batch
+				if hi > len(w.Observations) {
+					hi = len(w.Observations)
+				}
+				if err := eng.IngestBatch(w.Observations[lo:hi]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		closeEng = func() {
+			eng.Close()
+			closeErr = eng.Err()
+		}
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := ingest(); err != nil {
+		return HotpathRun{}, 0, err
+	}
+	closeEng()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if closeErr != nil {
+		return HotpathRun{}, 0, closeErr
+	}
+
+	run := HotpathRun{
+		ElapsedNS:  elapsed.Nanoseconds(),
+		Detections: detections,
+		StreamHash: fmt.Sprintf("%016x", h.Sum64()),
+	}
+	if n := len(w.Observations); n > 0 {
+		run.EPS = float64(n) / elapsed.Seconds()
+		run.AllocsPerEv = float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+	return run, workers, nil
+}
+
+// SweepHotpath runs interpreted vs compiled at each shard count on one
+// supply-chain workload and returns the comparison report. It errors when
+// any cell's detection stream diverges from its interpreted oracle — the
+// report is a regression gate, not just a scoreboard.
+func SweepHotpath(shardCounts []int, events, nrules int, seed int64) (*HotpathReport, error) {
+	w := Fig9Workload(events, nrules, seed, false)
+	rs, err := w.parseRules()
+	if err != nil {
+		return nil, err
+	}
+	rep := &HotpathReport{Workload: w.Name, Events: len(w.Observations), Rules: len(rs.Rules)}
+	for _, n := range shardCounts {
+		interp, _, err := hotpathRun(w, n, true)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath interpreted shards=%d: %w", n, err)
+		}
+		comp, workers, err := hotpathRun(w, n, false)
+		if err != nil {
+			return nil, fmt.Errorf("bench: hotpath compiled shards=%d: %w", n, err)
+		}
+		if comp.StreamHash != interp.StreamHash || comp.Detections != interp.Detections {
+			return nil, fmt.Errorf(
+				"bench: hotpath shards=%d: compiled stream diverges from interpreted oracle (%d dets %s vs %d dets %s)",
+				n, comp.Detections, comp.StreamHash, interp.Detections, interp.StreamHash)
+		}
+		pt := HotpathPoint{Shards: n, Workers: workers, Interpreted: interp, Compiled: comp}
+		if comp.ElapsedNS > 0 {
+			pt.Speedup = float64(interp.ElapsedNS) / float64(comp.ElapsedNS)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report in the BENCH_hotpath.json schema.
+func (r *HotpathReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintTable renders the report for terminals.
+func (r *HotpathReport) PrintTable(w io.Writer) {
+	fmt.Fprintf(w, "hot path: %s (%d events, %d rules)\n", r.Workload, r.Events, r.Rules)
+	fmt.Fprintf(w, "%8s %8s %14s %14s %9s %12s %12s %10s\n",
+		"shards", "workers", "interp eps", "compiled eps", "speedup", "interp a/ev", "comp a/ev", "dets")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %8d %14.0f %14.0f %8.2fx %12.2f %12.2f %10d\n",
+			p.Shards, p.Workers, p.Interpreted.EPS, p.Compiled.EPS, p.Speedup,
+			p.Interpreted.AllocsPerEv, p.Compiled.AllocsPerEv, p.Compiled.Detections)
+	}
+}

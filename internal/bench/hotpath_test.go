@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rcep/internal/core/detect"
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/core/shard"
+	"rcep/internal/rules"
+)
+
+// hotpathWorkload scales the supply-chain workload to the runner: the
+// full sweep (and `experiments hotpath`) uses the 400-rule/100k-event
+// bench shape; under -short (CI's -race leg) it shrinks but keeps every
+// rule family in play.
+func hotpathWorkload(t *testing.T) *Workload {
+	t.Helper()
+	events, nrules := 20000, 400
+	if testing.Short() {
+		events, nrules = 4000, 60
+	}
+	return Fig9Workload(events, nrules, 9, false)
+}
+
+// detSig renders one detection in (rule, interval, bindings, seq) form —
+// the byte-identical unit of the equivalence suite.
+func detSig(rid int, inst *event.Instance) string {
+	return fmt.Sprintf("%d|%d|%d|%s|%d", rid, inst.Begin, inst.End, inst.Binds.String(), inst.Seq)
+}
+
+// captureStream replays the workload and returns every detection
+// signature in delivery order. checkpointAt > 0 additionally saves a
+// shard/v1 (or single-engine) checkpoint after that many observations,
+// abandons the first engine, restores into a fresh one and finishes the
+// stream there — detections before and after the cut concatenate.
+func captureStream(t *testing.T, w *Workload, shards int, interpreted bool, checkpointAt int) []string {
+	t.Helper()
+	rs, err := w.parseRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []string
+	var capture = true
+	onDetect := func(rid int, inst *event.Instance) {
+		if capture {
+			stream = append(stream, detSig(rid, inst))
+		}
+	}
+
+	type engine interface {
+		Ingest(event.Observation) error
+		Close()
+		SaveCheckpoint(w *bytes.Buffer) error
+		RestoreCheckpoint(r *bytes.Buffer) error
+	}
+	newEngine := func() engine {
+		if shards <= 1 {
+			b := graph.NewBuilder()
+			x := rules.NewExecutor(rs, nil, nil, nil)
+			if err := x.Bind(b); err != nil {
+				t.Fatal(err)
+			}
+			eng, err := detect.New(detect.Config{
+				Graph:       b.Finalize(),
+				Groups:      w.Groups,
+				TypeOf:      w.TypeOf,
+				OnDetect:    onDetect,
+				Interpreted: interpreted,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return singleAdapter{eng}
+		}
+		shRules := make([]shard.Rule, len(rs.Rules))
+		for i, r := range rs.Rules {
+			shRules[i] = shard.Rule{ID: i, Expr: r.Event}
+		}
+		eng, err := shard.New(shard.Config{
+			Rules:       shRules,
+			Shards:      shards,
+			Groups:      w.Groups,
+			TypeOf:      w.TypeOf,
+			OnDetect:    onDetect,
+			Interpreted: interpreted,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return shardAdapter{t, eng}
+	}
+
+	eng := newEngine()
+	obs := w.Observations
+	if checkpointAt > 0 && checkpointAt < len(obs) {
+		for _, o := range obs[:checkpointAt] {
+			if err := eng.Ingest(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var ck bytes.Buffer
+		if err := eng.SaveCheckpoint(&ck); err != nil {
+			t.Fatalf("SaveCheckpoint: %v", err)
+		}
+		// Abandon the first engine without draining its windows: Close
+		// would fire detections the restored engine will deliver again.
+		capture = false
+		eng.Close()
+		capture = true
+		eng = newEngine()
+		if err := eng.RestoreCheckpoint(&ck); err != nil {
+			t.Fatalf("RestoreCheckpoint: %v", err)
+		}
+		obs = obs[checkpointAt:]
+	}
+	for _, o := range obs {
+		if err := eng.Ingest(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Close()
+	return stream
+}
+
+type singleAdapter struct{ eng *detect.Engine }
+
+func (a singleAdapter) Ingest(o event.Observation) error        { return a.eng.Ingest(o) }
+func (a singleAdapter) Close()                                  { a.eng.Close() }
+func (a singleAdapter) SaveCheckpoint(w *bytes.Buffer) error    { return a.eng.SaveCheckpoint(w) }
+func (a singleAdapter) RestoreCheckpoint(r *bytes.Buffer) error { return a.eng.RestoreCheckpoint(r) }
+
+type shardAdapter struct {
+	t   *testing.T
+	eng *shard.Engine
+}
+
+func (a shardAdapter) Ingest(o event.Observation) error { return a.eng.Ingest(o) }
+func (a shardAdapter) Close() {
+	a.eng.Close()
+	if err := a.eng.Err(); err != nil {
+		a.t.Fatalf("shard engine: %v", err)
+	}
+}
+func (a shardAdapter) SaveCheckpoint(w *bytes.Buffer) error    { return a.eng.SaveCheckpoint(w) }
+func (a shardAdapter) RestoreCheckpoint(r *bytes.Buffer) error { return a.eng.RestoreCheckpoint(r) }
+
+func diffStreams(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d detections, oracle has %d", label, len(got), len(want))
+	}
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			t.Errorf("%s: detection %d = %q, oracle %q", label, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+// TestHotpathEquivalence is the metamorphic core of the suite: on the
+// bench workload (every rule family, negation included), the compiled
+// hot path must deliver the interpreted oracle's detection stream
+// byte-for-byte — same order, same intervals, same bindings, same
+// sequence numbers — at every shard width.
+func TestHotpathEquivalence(t *testing.T) {
+	w := hotpathWorkload(t)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			oracle := captureStream(t, w, shards, true, 0)
+			if len(oracle) == 0 {
+				t.Fatal("oracle produced no detections; workload is vacuous")
+			}
+			got := captureStream(t, w, shards, false, 0)
+			diffStreams(t, "compiled vs interpreted", oracle, got)
+		})
+	}
+}
+
+// TestHotpathEquivalenceAcrossCheckpoint adds the persistence leg: the
+// compiled engine checkpoints mid-stream (single-engine and shard/v1
+// formats), restores into a fresh compiled engine — whose plans and
+// intern table are rebuilt from scratch, never serialized — and must
+// still reproduce the uninterrupted interpreted oracle. Sequence numbers
+// are part of the signature: checkpoints preserve the counters.
+func TestHotpathEquivalenceAcrossCheckpoint(t *testing.T) {
+	w := hotpathWorkload(t)
+	cut := len(w.Observations) / 2
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			oracle := captureStream(t, w, shards, true, 0)
+			if len(oracle) == 0 {
+				t.Fatal("oracle produced no detections; workload is vacuous")
+			}
+			got := captureStream(t, w, shards, false, cut)
+			diffStreams(t, "compiled+checkpoint vs interpreted", oracle, got)
+		})
+	}
+}
+
+// TestHotpathSweepGuard runs the report generator small and checks its
+// built-in oracle guard and schema fields, so `experiments hotpath`
+// failures are bench bugs, not report bugs.
+func TestHotpathSweepGuard(t *testing.T) {
+	rep, err := SweepHotpath([]int{1, 2}, 3000, 40, 7)
+	if err != nil {
+		t.Fatalf("SweepHotpath: %v", err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("report has %d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Compiled.StreamHash != p.Interpreted.StreamHash {
+			t.Errorf("shards=%d: hashes diverge in a report that passed the guard", p.Shards)
+		}
+		if p.Compiled.Detections == 0 {
+			t.Errorf("shards=%d: no detections; sweep is vacuous", p.Shards)
+		}
+		if p.Compiled.EPS <= 0 || p.Interpreted.EPS <= 0 {
+			t.Errorf("shards=%d: non-positive throughput", p.Shards)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, want := range []string{"stream_hash", "allocs_per_event", "speedup_compiled_vs_interpreted"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("JSON report missing %q field", want)
+		}
+	}
+}

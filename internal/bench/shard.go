@@ -32,6 +32,7 @@ func RunShardEngine(w *Workload, n int, opts Options) (Result, error) {
 		Groups:          w.Groups,
 		TypeOf:          w.TypeOf,
 		IndexPrimitives: opts.IndexPrimitives,
+		Interpreted:     opts.Interpreted,
 		OnDetect:        func(int, *event.Instance) { detections++ },
 	})
 	if err != nil {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"rcep/internal/faults"
+)
+
+// TestClusterCompiledMatchesInterpretedUnderHandoff is the cluster/v1 leg
+// of the compiled-hot-path equivalence suite: the same stream runs
+// through two real TCP clusters — one with compiled-plan worker engines,
+// one with interpreted oracles — while a mid-stream kill forces a
+// checkpoint handoff and replay in each. The merged detection sequences
+// must be byte-identical, order included: plan compilation must survive
+// checkpoint/restore because the event graph (and therefore the plans)
+// are rebuilt, never serialized.
+func TestClusterCompiledMatchesInterpretedUnderHandoff(t *testing.T) {
+	for _, seed := range []int64{5, 21} {
+		seed := seed
+		t.Run(planName(seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			rules := genRules(r, 3+r.Intn(8))
+			stream := genStream(r, 60+r.Intn(60))
+			third := len(stream) / 3
+			plan := &faults.ClusterPlan{Seed: seed, Faults: []faults.ClusterFault{
+				{AtObs: third, Kind: faults.FaultKill, Worker: 0},
+				{AtObs: 2 * third, Kind: faults.FaultRestart, Worker: 0},
+			}}
+
+			compiled, _, err := runClusterMode(t, seed, 3, rules, stream, plan, false)
+			if err != nil {
+				t.Fatalf("compiled cluster run: %v", err)
+			}
+			interp, _, err := runClusterMode(t, seed, 3, rules, stream, plan, true)
+			if err != nil {
+				t.Fatalf("interpreted cluster run: %v", err)
+			}
+			if len(compiled) == 0 {
+				t.Fatal("stream produced no detections; equivalence is vacuous")
+			}
+			diffStrings(t, "compiled vs interpreted cluster order", interp, compiled)
+		})
+	}
+}

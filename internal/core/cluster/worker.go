@@ -60,6 +60,10 @@ type WorkerConfig struct {
 	MaxHistory         int
 	MaxOpenSequence    int
 
+	// Interpreted selects the per-event AST interpreter in this worker's
+	// shard engines instead of the compiled plans (oracle mode).
+	Interpreted bool
+
 	// BootID names this worker incarnation. It must change across
 	// process restarts (a PID + start-time string, a counter in tests):
 	// the coordinator uses it to distinguish a restarted worker (engine
@@ -370,6 +374,7 @@ func (w *Worker) newFeed(m wire.Message) (*feed, error) {
 		MaxPartitionBuffer: w.cfg.MaxPartitionBuffer,
 		MaxHistory:         w.cfg.MaxHistory,
 		MaxOpenSequence:    w.cfg.MaxOpenSequence,
+		Interpreted:        w.cfg.Interpreted,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: assign shard %d: %w", s, err)

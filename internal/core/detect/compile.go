@@ -1,0 +1,335 @@
+package detect
+
+import (
+	"sort"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+)
+
+// Plan compilation (DESIGN.md §9): the per-event hot path is lowered once
+// at engine construction instead of interpreted per observation. Each
+// primitive pattern becomes a primPlan with its literals pre-interned to
+// Symbols, its predicates pre-resolved to (source attribute, operator,
+// literal) triples, and its binding template pre-sorted — so matching an
+// observation is integer compares plus one exact-size Bindings fill, with
+// no Term/Pred AST walk and no ParseScalar.
+//
+// The interpreted matcher (matchPrim) stays alive behind
+// Config.Interpreted as the oracle; the equivalence suite in
+// internal/bench asserts both paths produce byte-identical detection
+// streams.
+
+// Attribute sources a compiled predicate or binding slot can draw from.
+const (
+	srcReader uint8 = iota
+	srcObject
+	srcAt
+)
+
+// Compiled predicate kinds, mirroring event.Pred.Fn.
+const (
+	predIdent uint8 = iota // bare variable comparison
+	predType               // type(o) op 'v'
+	predGroup              // group(r) op 'v'
+)
+
+// predPlan is one lowered attribute predicate. Evaluation is always a
+// string compare against val: the interpreted path's
+// Value.Compare(ParseScalar(val)) reduces to exactly that because the
+// left-hand side is always a string attribute — equal strings compare
+// equal in every ParseScalar interpretation, and mixed kinds fall back to
+// string comparison (see matchPrim).
+type predPlan struct {
+	kind uint8
+	src  uint8
+	op   event.CmpOp
+	val  string
+}
+
+// bindSlot is one slot of a pre-sorted binding template.
+type bindSlot struct {
+	varName string
+	src     uint8
+}
+
+// primPlan is the compiled form of one primitive pattern node.
+type primPlan struct {
+	node *graph.Node
+
+	// readerLit/objectLit gate the pre-interned literal compares; a
+	// variable or anonymous position leaves the attribute unconstrained.
+	readerLit, objectLit bool
+	readerSym, objectSym event.Symbol
+
+	preds []predPlan
+
+	// binds is the pattern's binding template in final sorted order,
+	// replicating the Set-insertion semantics of the interpreted builder
+	// (duplicate variables resolve to the last Set in reader, object, at
+	// order).
+	binds []bindSlot
+
+	// dead marks a pattern that can never match any observation (unknown
+	// predicate function or unresolvable predicate argument) — the
+	// interpreted matcher rejects such patterns per event; the plan
+	// rejects them at compile time.
+	dead bool
+}
+
+// compilePrim lowers one primitive pattern node, interning its literals
+// into the engine's table.
+func compilePrim(n *graph.Node, intern *event.Interner) *primPlan {
+	p := n.Prim
+	pl := &primPlan{node: n}
+	anon := func(t event.Term) bool { return t.Var == "" && t.Lit == "" }
+	if !p.Reader.IsVar() && !anon(p.Reader) {
+		pl.readerLit = true
+		pl.readerSym = intern.Intern(p.Reader.Lit)
+	}
+	if !p.Object.IsVar() && !anon(p.Object) {
+		pl.objectLit = true
+		pl.objectSym = intern.Intern(p.Object.Lit)
+	}
+	for _, pred := range p.Preds {
+		var kind uint8
+		switch pred.Fn {
+		case "group":
+			kind = predGroup
+		case "type":
+			kind = predType
+		case "":
+			kind = predIdent
+		default:
+			pl.dead = true
+			return pl
+		}
+		src, ok := compilePredArg(p, pred.Arg)
+		if !ok {
+			pl.dead = true
+			return pl
+		}
+		pl.preds = append(pl.preds, predPlan{kind: kind, src: src, op: pred.Op, val: pred.Val})
+	}
+	add := func(v string, src uint8) {
+		i := sort.Search(len(pl.binds), func(i int) bool { return pl.binds[i].varName >= v })
+		if i < len(pl.binds) && pl.binds[i].varName == v {
+			pl.binds[i].src = src
+			return
+		}
+		pl.binds = append(pl.binds, bindSlot{})
+		copy(pl.binds[i+1:], pl.binds[i:])
+		pl.binds[i] = bindSlot{varName: v, src: src}
+	}
+	if p.Reader.IsVar() {
+		add(p.Reader.Var, srcReader)
+	}
+	if p.Object.IsVar() {
+		add(p.Object.Var, srcObject)
+	}
+	if p.At.IsVar() {
+		add(p.At.Var, srcAt)
+	}
+	return pl
+}
+
+// compilePredArg resolves a predicate argument to its observation
+// attribute at compile time, mirroring Engine.predArg case for case.
+func compilePredArg(p *event.Prim, arg string) (uint8, bool) {
+	switch {
+	case p.Reader.IsVar() && p.Reader.Var == arg:
+		return srcReader, true
+	case p.Object.IsVar() && p.Object.Var == arg:
+		return srcObject, true
+	case !p.Reader.IsVar() && arg == "":
+		return srcReader, true
+	}
+	return 0, false
+}
+
+// buildPlans compiles every primitive pattern and builds the
+// symbol-indexed dispatch table: dispatch[readerSym] lists the plans an
+// observation with that reader can match, in node-ID order (the same
+// order the interpreted engine probes, indexed or not — graph.Prims is
+// ID-ordered). Readers interned after construction fall back to
+// wildPlans, the patterns with variable or anonymous reader positions.
+func (e *Engine) buildPlans() {
+	byLit := map[event.Symbol][]*primPlan{}
+	for _, p := range e.g.Prims {
+		pl := compilePrim(p, e.intern)
+		if pl.readerLit {
+			byLit[pl.readerSym] = append(byLit[pl.readerSym], pl)
+		} else {
+			e.wildPlans = append(e.wildPlans, pl)
+		}
+	}
+	e.dispatch = make([][]*primPlan, e.intern.Len()+1)
+	for sym := range e.dispatch {
+		e.dispatch[sym] = e.wildPlans
+	}
+	for sym, lits := range byLit {
+		merged := append(append(make([]*primPlan, 0, len(lits)+len(e.wildPlans)), lits...), e.wildPlans...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].node.ID < merged[j].node.ID })
+		e.dispatch[sym] = merged
+	}
+}
+
+// ingestCompiled dispatches one observation through the compiled plans.
+// It mirrors the interpreted loop in Ingest/matchAndEmit exactly —
+// including Seq numbering — but compares interned symbols and fills
+// pre-sorted binding templates.
+func (e *Engine) ingestCompiled(obs event.Observation) {
+	rsym := e.intern.Intern(obs.Reader)
+	osym := e.intern.Intern(obs.Object)
+	plans := e.wildPlans
+	if int(rsym) < len(e.dispatch) {
+		plans = e.dispatch[rsym]
+	}
+	for _, pl := range plans {
+		binds, ok := e.matchPlan(pl, obs, rsym, osym)
+		if !ok {
+			continue
+		}
+		e.m.PrimMatches++
+		inst := &event.Instance{Begin: obs.At, End: obs.At, Binds: binds, Seq: e.nextSeq()}
+		e.emit(pl.node, inst)
+	}
+}
+
+// matchPlan matches one observation against a compiled pattern.
+func (e *Engine) matchPlan(pl *primPlan, obs event.Observation, rsym, osym event.Symbol) (event.Bindings, bool) {
+	if pl.dead {
+		return nil, false
+	}
+	if pl.readerLit && pl.readerSym != rsym {
+		return nil, false
+	}
+	if pl.objectLit && pl.objectSym != osym {
+		return nil, false
+	}
+	for i := range pl.preds {
+		pp := &pl.preds[i]
+		var arg string
+		var argSym event.Symbol
+		if pp.src == srcReader {
+			arg, argSym = obs.Reader, rsym
+		} else {
+			arg, argSym = obs.Object, osym
+		}
+		switch pp.kind {
+		case predGroup:
+			matched := false
+			for _, g := range e.groupsOfSym(argSym, arg) {
+				if pp.op.Eval(compareStr(g, pp.val)) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, false
+			}
+		case predType:
+			if !pp.op.Eval(compareStr(e.typeOfSym(argSym, arg), pp.val)) {
+				return nil, false
+			}
+		default:
+			if !pp.op.Eval(compareStr(arg, pp.val)) {
+				return nil, false
+			}
+		}
+	}
+	if len(pl.binds) == 0 {
+		return nil, true
+	}
+	binds := make(event.Bindings, len(pl.binds))
+	for i, s := range pl.binds {
+		switch s.src {
+		case srcReader:
+			binds[i] = event.Binding{Var: s.varName, Val: event.StringValue(obs.Reader)}
+		case srcObject:
+			binds[i] = event.Binding{Var: s.varName, Val: event.StringValue(obs.Object)}
+		default:
+			binds[i] = event.Binding{Var: s.varName, Val: event.TimeValue(obs.At)}
+		}
+	}
+	return binds, true
+}
+
+// groupsOfSym memoizes the group function in a flat slice indexed by
+// Symbol — no hashing on the hot path. The cache grows with the intern
+// table (see the sizing note in docs/OPERATIONS.md).
+func (e *Engine) groupsOfSym(sym event.Symbol, s string) []string {
+	i := int(sym)
+	if i >= len(e.groupsBySym) {
+		e.groupsBySym = append(e.groupsBySym, make([][]string, i+1-len(e.groupsBySym))...)
+		e.groupsSet = append(e.groupsSet, make([]bool, i+1-len(e.groupsSet))...)
+	}
+	if !e.groupsSet[i] {
+		e.groupsBySym[i] = e.groups(s)
+		e.groupsSet[i] = true
+	}
+	return e.groupsBySym[i]
+}
+
+// typeOfSym memoizes the type function by Symbol. Unlike the interpreted
+// path's bounded map, the flat cache grows with the intern table, which
+// already retains one entry per distinct object.
+func (e *Engine) typeOfSym(sym event.Symbol, s string) string {
+	i := int(sym)
+	if i >= len(e.typeBySym) {
+		e.typeBySym = append(e.typeBySym, make([]string, i+1-len(e.typeBySym))...)
+		e.typeSet = append(e.typeSet, make([]bool, i+1-len(e.typeSet))...)
+	}
+	if !e.typeSet[i] {
+		e.typeBySym[i] = e.typeOf(s)
+		e.typeSet[i] = true
+	}
+	return e.typeBySym[i]
+}
+
+// projectFilter is projectBinds drawing from the engine's freelist on the
+// compiled path. Filters are transient: they parameterize a single
+// negation/window query and never escape into emitted instances, so the
+// backing arrays recycle. Pair every call with releaseFilter.
+func (e *Engine) projectFilter(binds event.Bindings, vars []string) event.Bindings {
+	if !e.compiled || len(vars) == 0 {
+		return projectBinds(binds, vars)
+	}
+	var out event.Bindings
+	if n := len(e.filterPool); n > 0 {
+		out = e.filterPool[n-1]
+		e.filterPool = e.filterPool[:n-1]
+	} else {
+		out = make(event.Bindings, 0, 4)
+	}
+	for _, v := range vars {
+		if val, ok := binds.Get(v); ok {
+			out = out.Set(v, val)
+		}
+	}
+	return out
+}
+
+// releaseFilter returns a filter's backing array to the freelist. The
+// freelist is a stack, so queries that recurse into further queries
+// (occurs → lazyClose → emit → deliver) nest safely: inner calls pop and
+// push their own entries while the outer filter stays checked out.
+func (e *Engine) releaseFilter(f event.Bindings) {
+	if !e.compiled || f == nil {
+		return
+	}
+	e.filterPool = append(e.filterPool, f[:0])
+}
+
+// newPseudo returns a pseudo event, recycled from the freelist on the
+// compiled path. drainPseudo returns each fired event to the pool: fire
+// retains nothing of the struct itself (the payload instance is
+// independently owned), and the heap has already dropped its pointer.
+func (e *Engine) newPseudo() *pseudoEvent {
+	if n := len(e.psPool); n > 0 {
+		ps := e.psPool[n-1]
+		e.psPool = e.psPool[:n-1]
+		return ps
+	}
+	return &pseudoEvent{}
+}

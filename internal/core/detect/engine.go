@@ -60,8 +60,23 @@ type Config struct {
 	// patterns whose reader literal matches (plus patterns with
 	// variable readers), instead of probing every leaf — an
 	// optimization beyond the paper that flattens the per-rule matching
-	// cost (ablation A5). Default off to mirror the paper's engine.
+	// cost (ablation A5). Default off to mirror the paper's engine. It
+	// governs the interpreted path only: compiled plans always dispatch
+	// through the symbol index.
 	IndexPrimitives bool
+
+	// Interpreted forces the legacy per-event interpretation path
+	// (Term/Pred AST walks, string compares). Default off: the engine
+	// compiles primitive patterns into prepared plans at construction
+	// (compile.go) and interns reader/object strings at ingest. The
+	// interpreted path is kept as the oracle for equivalence testing.
+	Interpreted bool
+
+	// Interner supplies a shared intern table for the compiled path —
+	// shard engines pass one table to every worker so symbols agree
+	// across shards. Nil gives the engine a private table. Ignored when
+	// Interpreted is set.
+	Interner *event.Interner
 }
 
 // Metrics counts engine activity; useful in tests and benchmarks.
@@ -103,6 +118,22 @@ type Engine struct {
 	// configuration, constant for the engine's lifetime (paper §2.1).
 	groupCache map[string][]string
 	typeCache  map[string]string
+
+	// Compiled hot path (compile.go). dispatch is indexed by reader
+	// Symbol; wildPlans holds patterns with variable/anonymous readers;
+	// groupsBySym/typeBySym are flat per-symbol memoizations replacing
+	// the string-keyed caches above; filterPool and psPool are
+	// freelists for transient query filters and fired pseudo events.
+	compiled    bool
+	intern      *event.Interner
+	dispatch    [][]*primPlan
+	wildPlans   []*primPlan
+	groupsBySym [][]string
+	groupsSet   []bool
+	typeBySym   []string
+	typeSet     []bool
+	filterPool  []event.Bindings
+	psPool      []*pseudoEvent
 }
 
 // nodeState is the per-node runtime state.
@@ -241,8 +272,20 @@ func New(cfg Config) (*Engine, error) {
 			}
 		}
 	}
+	if !cfg.Interpreted {
+		e.compiled = true
+		e.intern = cfg.Interner
+		if e.intern == nil {
+			e.intern = event.NewInterner()
+		}
+		e.buildPlans()
+	}
 	return e, nil
 }
+
+// Interner returns the engine's intern table, or nil on the interpreted
+// path.
+func (e *Engine) Interner() *event.Interner { return e.intern }
 
 // closureDelay bounds emission lag: how long after an instance's End the
 // node can still emit it.
@@ -285,6 +328,10 @@ func (e *Engine) Ingest(obs event.Observation) error {
 	e.drainPseudo(obs.At, true)
 	e.now = obs.At
 	e.m.Observations++
+	if e.compiled {
+		e.ingestCompiled(obs)
+		return nil
+	}
 	if e.primIndex != nil {
 		// Indexed dispatch preserves node-ID order across the two
 		// candidate sets so detections stay deterministic.
@@ -532,5 +579,11 @@ func (e *Engine) drainPseudo(limit event.Time, strict bool) {
 		}
 		e.m.PseudoFired++
 		e.fire(top)
+		if e.compiled {
+			// fire keeps no reference to the struct (the payload
+			// instance is independently owned), so it recycles.
+			*top = pseudoEvent{}
+			e.psPool = append(e.psPool, top)
+		}
 	}
 }

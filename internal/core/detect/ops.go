@@ -60,14 +60,18 @@ func (e *Engine) andDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		// [t_end(p), t_begin(p)+w].
 		w := p.Within
 		neg := p.Children[p.NotChild].Child()
-		filter := projectBinds(inst.Binds, p.JoinVars)
-		if e.occurs(neg, inst.End.Add(-w), inst.End, filter) {
+		filter := e.projectFilter(inst.Binds, p.JoinVars)
+		hit := e.occurs(neg, inst.End.Add(-w), inst.End, filter)
+		e.releaseFilter(filter)
+		if hit {
 			return
 		}
-		e.schedule(&pseudoEvent{
+		ps := e.newPseudo()
+		*ps = pseudoEvent{
 			exec: inst.Begin.Add(w), node: p, strategy: graph.PseudoAndNotExpire,
 			payload: inst, w0: inst.End, w1: inst.Begin.Add(w),
-		})
+		}
+		e.schedule(ps)
 		return
 	}
 	st := e.states[p.ID]
@@ -96,10 +100,12 @@ func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 			return
 		}
 		b, _ := p.Bound()
-		e.schedule(&pseudoEvent{
+		ps := e.newPseudo()
+		*ps = pseudoEvent{
 			exec: inst.End.Add(b), node: p, strategy: graph.PseudoSeqNotTerm,
 			payload: inst, w0: inst.End + 1, w1: inst.End.Add(b),
-		})
+		}
+		e.schedule(ps)
 		return
 	}
 	// Negated initiator (infield pattern): on terminator arrival, check
@@ -111,8 +117,10 @@ func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		}
 		b, _ := p.Bound()
 		neg := p.Left().Child()
-		filter := projectBinds(inst.Binds, p.JoinVars)
-		if e.occurs(neg, inst.End.Add(-b), inst.Begin-1, filter) {
+		filter := e.projectFilter(inst.Binds, p.JoinVars)
+		hit := e.occurs(neg, inst.End.Add(-b), inst.Begin-1, filter)
+		e.releaseFilter(filter)
+		if hit {
 			return
 		}
 		e.emit(p, &event.Instance{
@@ -314,8 +322,9 @@ func (e *Engine) seqPullInitiator(p *graph.Node, term *event.Instance) {
 	if w1 > term.Begin-1 {
 		w1 = term.Begin - 1
 	}
-	filter := projectBinds(term.Binds, p.JoinVars)
+	filter := e.projectFilter(term.Binds, p.JoinVars)
 	seqInst := e.querySeqPlus(l, w0, w1, filter, p.ID)
+	e.releaseFilter(filter)
 	if seqInst == nil {
 		return
 	}
@@ -362,10 +371,12 @@ func (e *Engine) seqPlusDeliver(n *graph.Node, inst *event.Instance) {
 		st.open.begin = st.open.starts[0]
 	}
 	if n.Pseudo {
-		e.schedule(&pseudoEvent{
+		ps := e.newPseudo()
+		*ps = pseudoEvent{
 			exec: inst.End.Add(n.Hi), node: n, strategy: graph.PseudoSeqPlusClose,
 			version: st.open.version,
-		})
+		}
+		e.schedule(ps)
 	}
 }
 
@@ -476,8 +487,10 @@ func (e *Engine) fire(ps *pseudoEvent) {
 	case graph.PseudoAndNotExpire:
 		p := ps.node
 		neg := p.Children[p.NotChild].Child()
-		filter := projectBinds(ps.payload.Binds, p.JoinVars)
-		if e.occurs(neg, ps.w0, ps.w1, filter) {
+		filter := e.projectFilter(ps.payload.Binds, p.JoinVars)
+		hit := e.occurs(neg, ps.w0, ps.w1, filter)
+		e.releaseFilter(filter)
+		if hit {
 			return
 		}
 		e.emit(p, &event.Instance{
@@ -487,8 +500,10 @@ func (e *Engine) fire(ps *pseudoEvent) {
 	case graph.PseudoSeqNotTerm:
 		p := ps.node
 		neg := p.Right().Child()
-		filter := projectBinds(ps.payload.Binds, p.JoinVars)
-		if e.occurs(neg, ps.w0, ps.w1, filter) {
+		filter := e.projectFilter(ps.payload.Binds, p.JoinVars)
+		hit := e.occurs(neg, ps.w0, ps.w1, filter)
+		e.releaseFilter(filter)
+		if hit {
 			return
 		}
 		e.emit(p, &event.Instance{

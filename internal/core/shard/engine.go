@@ -38,6 +38,15 @@ type Config struct {
 	MaxHistory         int
 	MaxOpenSequence    int
 
+	// Interpreted selects the per-event AST interpreter in every shard
+	// instead of the compiled plans — the oracle for equivalence runs.
+	Interpreted bool
+
+	// Interner is shared across all shard engines on the compiled path
+	// so EPC/reader symbols agree engine-wide (it is safe for concurrent
+	// use). Nil means the engine creates one.
+	Interner *event.Interner
+
 	// Buffer is the per-shard channel capacity in envelope batches
 	// (default 8); Batch is the number of envelopes per channel send
 	// (default 64). Larger batches amortize channel overhead, smaller
@@ -175,6 +184,8 @@ type Engine struct {
 	syncEvery int
 	sinceSync int
 
+	intern *event.Interner
+
 	closed    bool
 	now       event.Time
 	idx       uint64
@@ -223,6 +234,11 @@ func New(cfg Config) (*Engine, error) {
 	if buffer <= 0 {
 		buffer = 8
 	}
+	intern := cfg.Interner
+	if intern == nil && !cfg.Interpreted {
+		intern = event.NewInterner()
+	}
+	e.intern = intern
 	e.workers = make([]*worker, part.NumShards())
 	e.pend = make([][]envelope, part.NumShards())
 	for s := 0; s < part.NumShards(); s++ {
@@ -248,6 +264,8 @@ func New(cfg Config) (*Engine, error) {
 			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
 			MaxHistory:         cfg.MaxHistory,
 			MaxOpenSequence:    cfg.MaxOpenSequence,
+			Interpreted:        cfg.Interpreted,
+			Interner:           intern,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("shard: %w", err)
@@ -268,6 +286,11 @@ func (e *Engine) Partition() *Partition { return e.part }
 
 // Shards returns the number of parallel detection engines.
 func (e *Engine) Shards() int { return len(e.workers) }
+
+// Interner returns the intern table shared by every shard worker, or nil
+// on the interpreted path. Ingest adapters use it to canonicalize reader
+// and EPC strings at the edge (see event.Interner.Canon).
+func (e *Engine) Interner() *event.Interner { return e.intern }
 
 // Now returns the router's current virtual time.
 func (e *Engine) Now() event.Time {

@@ -8,12 +8,27 @@ import (
 	"rcep/internal/core/event"
 )
 
+// TestSeedRepro60402385808921546 pins the invariants around equal-time
+// reordering for a seed that historically exposed a divergence.
+//
+// What the engine guarantees: the sharded engine reproduces a single
+// engine's detections exactly when both consume the SAME observation
+// order. What it deliberately does NOT guarantee: detection-multiset
+// invariance under permutations of equal-timestamp observations in the
+// input itself — chronicle context consumes the oldest compatible
+// candidate, and for constituents with no join variables "oldest" among
+// equal-time arrivals is arrival order by definition (for this seed, two
+// initiators at 6.644s re-pair a TSEQ terminator differently). The first
+// part of this test therefore asserts equality only up to chronicle
+// re-pairing: the multiset of (rule, interval) detections must agree even
+// when equal-time permutation swaps which initiator's bindings were
+// consumed.
 func TestSeedRepro60402385808921546(t *testing.T) {
 	seed := int64(60402385808921546)
 	r := rand.New(rand.NewSource(seed))
 	rules := genRules(r, 3+r.Intn(8))
 	stream := genStream(r, 60+r.Intn(60))
-	oracle := asMultiset(runSingle(t, rules, stream, false))
+	oracle := runSingle(t, rules, stream, false)
 
 	// Recreate the exact per-chunk shuffled+stably-sorted order IngestBatch applies.
 	var applied []event.Observation
@@ -30,10 +45,12 @@ func TestSeedRepro60402385808921546(t *testing.T) {
 		applied = append(applied, sorted...)
 		rest = rest[n:]
 	}
-	reordered := asMultiset(runSingle(t, rules, applied, false))
-	diffStrings(t, "single-engine on reordered equal-time stream", oracle, reordered)
+	reordered := runSingle(t, rules, applied, false)
+	diffStrings(t, "single-engine intervals on reordered equal-time stream",
+		asMultiset(stripBinds(oracle)), asMultiset(stripBinds(reordered)))
 
-	// And the sharded engine on the same applied order via plain Ingest.
+	// The sharded engine on the same applied order via plain Ingest must
+	// match the single engine exactly, bindings included.
 	var got []string
 	eng, err := New(Config{
 		Rules: rules, Shards: 4, Groups: genGroups, TypeOf: genTypeOf,
@@ -49,5 +66,25 @@ func TestSeedRepro60402385808921546(t *testing.T) {
 		}
 	}
 	eng.Close()
-	diffStrings(t, "shard vs single on SAME order", reordered, asMultiset(got))
+	diffStrings(t, "shard vs single on SAME order", asMultiset(reordered), asMultiset(got))
+}
+
+// stripBinds reduces detection signatures "rule|begin|end|binds" to
+// "rule|begin|end", the part invariant to chronicle re-pairing.
+func stripBinds(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		cut := len(s)
+		for j, seen := 0, 0; j < len(s); j++ {
+			if s[j] == '|' {
+				seen++
+				if seen == 3 {
+					cut = j
+					break
+				}
+			}
+		}
+		out[i] = s[:cut]
+	}
+	return out
 }

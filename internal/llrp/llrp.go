@@ -199,6 +199,14 @@ type Adapter struct {
 	// MinRSSI, when non-zero, drops reports weaker than this (dBm × 10)
 	// — edge filtering of marginal reads.
 	MinRSSI int16
+
+	// Intern, when set, canonicalizes each observation's reader and
+	// object strings before they reach the sink. Every EPC.Hex() call
+	// allocates a fresh string; interning at the edge means downstream
+	// histories, dedup maps and bindings all share one instance per
+	// distinct tag. Safe to share across adapters — the interner is
+	// goroutine-safe.
+	Intern *event.Interner
 }
 
 // HandleMessage feeds every tag report of an RO_ACCESS_REPORT to the
@@ -215,6 +223,9 @@ func (a *Adapter) HandleMessage(m Message) error {
 			Reader: a.ReaderID,
 			Object: tr.EPC.Hex(),
 			At:     event.Time(tr.Timestamp),
+		}
+		if a.Intern != nil {
+			obs = a.Intern.CanonObservation(obs)
 		}
 		if err := a.Sink(obs); err != nil {
 			return err

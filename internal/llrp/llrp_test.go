@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+	"unsafe"
 
 	"rcep/internal/core/event"
 	"rcep/internal/epc"
@@ -231,5 +232,45 @@ func TestAdapterDrainIntoEngineTypes(t *testing.T) {
 		if ty != "case" {
 			t.Errorf("type through the stack: %q", ty)
 		}
+	}
+}
+
+// TestAdapterIntern proves the edge-interning contract: with an intern
+// table attached, repeated sightings of one tag reach the sink as the
+// same string instance — EPC.Hex() allocates per report, Canon collapses
+// the copies before they fan out into engine state.
+func TestAdapterIntern(t *testing.T) {
+	in := event.NewInterner()
+	var got []event.Observation
+	a := &Adapter{
+		ReaderID: "dock-" + "1", // force a non-literal-pooled string
+		Sink: func(o event.Observation) error {
+			got = append(got, o)
+			return nil
+		},
+		Intern: in,
+	}
+	rep := tag(7, time.Second, -500)
+	for i := 0; i < 3; i++ {
+		if err := a.HandleMessage(Message{Type: MsgROAccessReport, Tags: []TagReport{rep}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("sink saw %d observations, want 3", len(got))
+	}
+	for i, o := range got {
+		if o.Object != rep.EPC.Hex() || o.Reader != a.ReaderID {
+			t.Fatalf("observation %d mangled: %+v", i, o)
+		}
+		if unsafe.StringData(o.Object) != unsafe.StringData(got[0].Object) {
+			t.Errorf("observation %d carries a fresh Object instance; interning did not collapse it", i)
+		}
+		if unsafe.StringData(o.Reader) != unsafe.StringData(got[0].Reader) {
+			t.Errorf("observation %d carries a fresh Reader instance", i)
+		}
+	}
+	if in.Len() != 2 {
+		t.Errorf("intern table has %d entries, want 2 (reader + EPC)", in.Len())
 	}
 }

@@ -39,7 +39,12 @@ type Executor struct {
 	procs Procs
 	funcs sqlmini.Funcs
 
-	byIndex []*Rule // graph rule index → rule
+	byIndex []*Rule    // graph rule index → rule
+	plans   []rulePlan // graph rule index → compiled plan (see plan.go)
+
+	// Interpreted forces dispatch through the AST interpreter instead of
+	// the prepared plans — the oracle for the equivalence suite.
+	Interpreted bool
 
 	// OnError receives action/condition errors; default collects them.
 	OnError func(rule *Rule, err error)
@@ -74,6 +79,7 @@ func (x *Executor) Bind(b *graph.Builder) error {
 			return fmt.Errorf("rule %s: %w", r.ID, err)
 		}
 		x.byIndex = append(x.byIndex, r)
+		x.plans = append(x.plans, x.compileRule(r))
 	}
 	return nil
 }
@@ -117,6 +123,10 @@ func (x *Executor) Dispatch(ruleIdx int, inst *event.Instance) {
 	if x.disabled[r.ID] {
 		return
 	}
+	if !x.Interpreted && ruleIdx < len(x.plans) {
+		x.dispatchCompiled(r, &x.plans[ruleIdx], inst)
+		return
+	}
 	binds := withImplicitBindings(inst)
 	if r.Cond != nil {
 		v, err := sqlmini.EvalExpr(x.store, r.Cond, binds, x.funcs)
@@ -155,6 +165,64 @@ func withImplicitBindings(inst *event.Instance) event.Bindings {
 		}
 	}
 	return binds
+}
+
+// dispatchCompiled is Dispatch's body on the prepared-plan path. It must
+// stay behaviorally identical to the interpreted path below, including
+// every error-wrapping format string.
+func (x *Executor) dispatchCompiled(r *Rule, pl *rulePlan, inst *event.Instance) {
+	binds := implicitBindings(inst)
+	if pl.cond != nil {
+		v, err := pl.cond.Eval(x.store, binds)
+		if err != nil {
+			x.OnError(r, fmt.Errorf("condition: %w", err))
+			return
+		}
+		if !sqlmini.Truthy(v) {
+			return
+		}
+	}
+	if x.TraceFirings {
+		x.firings = append(x.firings, Firing{RuleID: r.ID, Inst: inst})
+	}
+	for i := range pl.actions {
+		if err := x.runActionCompiled(r, &pl.actions[i], inst, binds); err != nil {
+			x.OnError(r, err)
+		}
+	}
+}
+
+// runActionCompiled mirrors runAction over a compiled action plan.
+func (x *Executor) runActionCompiled(r *Rule, ap *actionPlan, inst *event.Instance, binds event.Bindings) error {
+	switch act := ap.src.(type) {
+	case *SQLAction:
+		if x.store == nil {
+			return fmt.Errorf("action %q needs a data store", act)
+		}
+		if _, err := ap.sql.Exec(x.store, binds); err != nil {
+			return fmt.Errorf("action %q: %w", act, err)
+		}
+		return nil
+	case *ProcAction:
+		proc, ok := x.procs[ap.name]
+		if !ok {
+			return fmt.Errorf("action %q: no such procedure %s", act, ap.name)
+		}
+		args := make([]event.Value, len(ap.args))
+		for i, af := range ap.args {
+			v, err := af.Eval(x.store, binds)
+			if err != nil {
+				return fmt.Errorf("action %q: argument %d: %w", act, i+1, err)
+			}
+			args[i] = v
+		}
+		ctx := ActionContext{RuleID: r.ID, RuleName: r.Name, Inst: inst, Store: x.store}
+		if err := proc(ctx, args); err != nil {
+			return fmt.Errorf("action %q: %w", act, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown action type %T", ap.src)
 }
 
 func (x *Executor) runAction(r *Rule, a Action, inst *event.Instance, binds event.Bindings) error {

@@ -1,0 +1,240 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rcep/internal/core/event"
+	"rcep/internal/core/graph"
+	"rcep/internal/sqlmini"
+	"rcep/internal/store"
+)
+
+// fuzzBindings derives a deterministic binding set from fuzz data: comma
+// fields bound to the variable names the seed scripts actually use.
+func fuzzBindings(data string) event.Bindings {
+	names := []string{"a", "b", "c", "o", "r", "t", "x", "k"}
+	var binds event.Bindings
+	for i, part := range strings.Split(data, ",") {
+		if i >= len(names) {
+			break
+		}
+		binds = binds.Set(names[i], event.ParseScalar(part))
+	}
+	return binds
+}
+
+// fuzzStore builds one small deterministic store so EXISTS/IN and action
+// statements execute for real on both evaluation paths.
+func fuzzStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	if err := s.CreateTable("T", store.Schema{
+		{Name: "k", Type: event.KindString},
+		{Name: "n", Type: event.KindInt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"a", "b", "tag"} {
+		if err := tbl.Insert([]event.Value{event.StringValue(k), event.IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func dumpStore(s *store.Store) string {
+	var sb strings.Builder
+	for _, name := range s.Tables() {
+		tbl, err := s.Table(name)
+		if err != nil {
+			continue
+		}
+		sb.WriteString(name)
+		sb.WriteByte('\n')
+		tbl.Scan(func(id int64, r store.Row) bool {
+			fmt.Fprintf(&sb, "%d:", id)
+			for _, v := range r {
+				sb.WriteString(v.String())
+				sb.WriteByte('|')
+			}
+			sb.WriteByte('\n')
+			return true
+		})
+	}
+	return sb.String()
+}
+
+func sameErr(a, b error) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || a.Error() == b.Error()
+}
+
+// FuzzCompileRule pins the two plan-compilation properties from
+// DESIGN.md §9: any rule that parses must compile, and compiled
+// evaluation must agree with interpreted evaluation — values, store
+// effects and error strings — on arbitrary inputs.
+func FuzzCompileRule(f *testing.F) {
+	for _, s := range seedScripts {
+		f.Add(s, "x,1,2.5")
+	}
+	f.Add(`CREATE RULE a, n ON observation(r, o, t)
+		IF upper(o) = 'X' OR k IN (SELECT k FROM T WHERE n >= 1)
+		DO INSERT INTO T VALUES (o, 9); p(o, t)`, "tag,3")
+	f.Add(`CREATE RULE a, n ON observation(r, o, t) IF f(x) + 1 > 2 AND x IS NOT NULL DO UPDATE T SET n = n + 1 WHERE k = o`, "1,2,3,tag")
+	f.Add(`CREATE RULE a, n ON observation(r, o, t) IF o LIKE 'ta%' AND NOT EXISTS (SELECT * FROM missing) DO DELETE FROM T WHERE n < 0`, "u")
+	f.Fuzz(func(t *testing.T, src, data string) {
+		rs, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		funcs := sqlmini.Funcs{"f": func(args []event.Value) (event.Value, error) {
+			if len(args) == 0 {
+				return event.IntValue(0), nil
+			}
+			return args[0], nil
+		}}
+		binds := fuzzBindings(data)
+		st := fuzzStore(t)
+		stA, stB := fuzzStore(t), fuzzStore(t)
+		for _, r := range rs.Rules {
+			// Property 1: every parsed rule compiles without panicking.
+			x := &Executor{funcs: funcs}
+			_ = x.compileRule(r)
+
+			// Property 2a: condition equivalence.
+			if r.Cond != nil {
+				prep := sqlmini.PrepareExpr(r.Cond, funcs)
+				gv, ge := prep.Eval(st, binds)
+				wv, we := sqlmini.EvalExpr(st, r.Cond, binds, funcs)
+				if !sameErr(ge, we) {
+					t.Fatalf("condition %v: compiled err %v, interpreted err %v", r.Cond, ge, we)
+				}
+				if ge == nil && (gv.Kind() != wv.Kind() || !gv.Equal(wv)) {
+					t.Fatalf("condition %v: compiled %v (%v), interpreted %v (%v)", r.Cond, gv, gv.Kind(), wv, wv.Kind())
+				}
+			}
+
+			// Property 2b: SQL action equivalence, effects included.
+			for _, a := range r.Actions {
+				sa, ok := a.(*SQLAction)
+				if !ok {
+					continue
+				}
+				prep := sqlmini.PrepareStmt(sa.Stmt)
+				gr, ge := prep.Exec(stA, binds)
+				wr, we := sqlmini.ExecStmt(stB, sa.Stmt, binds)
+				if !sameErr(ge, we) {
+					t.Fatalf("action %q: compiled err %v, interpreted err %v", sa, ge, we)
+				}
+				if ge == nil && gr.RowsAffected != wr.RowsAffected {
+					t.Fatalf("action %q: compiled affected %d, interpreted %d", sa, gr.RowsAffected, wr.RowsAffected)
+				}
+			}
+		}
+		if a, b := dumpStore(stA), dumpStore(stB); a != b {
+			t.Fatalf("store divergence after actions:\ncompiled:\n%s\ninterpreted:\n%s", a, b)
+		}
+	})
+}
+
+// TestExecutorCompiledMatchesInterpreted drives full Dispatch — implicit
+// bindings, condition, firing log, SQL and procedure actions, error
+// wrapping — through both executor paths and requires identical firings,
+// identical error strings and identical store contents.
+func TestExecutorCompiledMatchesInterpreted(t *testing.T) {
+	src := `
+CREATE RULE r1, log reads
+ON observation(r, o, t)
+IF o != 'skip' AND event_interval >= 0
+DO INSERT INTO T VALUES (o, 1); note(r, event_begin)
+
+CREATE RULE r2, failing parts
+ON observation(r, o, t)
+IF length(o) > 2
+DO INSERT INTO missing VALUES (o); nosuchproc(o); note(bad_var, o)
+`
+	rs, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(interpreted bool) (firings []string, errs []string, dump string) {
+		st := fuzzStore(t)
+		var notes []string
+		procs := Procs{"note": func(ctx ActionContext, args []event.Value) error {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = a.String()
+			}
+			notes = append(notes, ctx.RuleID+":"+strings.Join(parts, ","))
+			return nil
+		}}
+		x := NewExecutor(rs, st, procs, nil)
+		x.Interpreted = interpreted
+		if err := x.Bind(graph.NewBuilder()); err != nil {
+			t.Fatal(err)
+		}
+		base := event.Time(0)
+		for i := 0; i < 6; i++ {
+			obj := []string{"tag", "skip", "pallet"}[i%3]
+			inst := &event.Instance{
+				Begin: base + event.Time(i)*event.Time(time.Second),
+				End:   base + event.Time(i+1)*event.Time(time.Second),
+				Binds: event.Bindings{}.Set("r", event.StringValue("rd1")).
+					Set("o", event.StringValue(obj)).
+					Set("t", event.TimeValue(base+event.Time(i)*event.Time(time.Second))),
+				Seq: uint64(i),
+			}
+			x.Dispatch(i%2, inst)
+		}
+		for _, fr := range x.Firings() {
+			firings = append(firings, fr.RuleID+"|"+fr.Inst.Binds.String())
+		}
+		for _, e := range x.Errors() {
+			errs = append(errs, e.Error())
+		}
+		firings = append(firings, notes...)
+		return firings, errs, dumpStore(st)
+	}
+	cf, ce, cd := run(false)
+	wf, we, wd := run(true)
+	if fmt.Sprint(cf) != fmt.Sprint(wf) {
+		t.Errorf("firings diverge:\ncompiled:    %v\ninterpreted: %v", cf, wf)
+	}
+	if fmt.Sprint(ce) != fmt.Sprint(we) {
+		t.Errorf("errors diverge:\ncompiled:    %v\ninterpreted: %v", ce, we)
+	}
+	if cd != wd {
+		t.Errorf("stores diverge:\ncompiled:\n%s\ninterpreted:\n%s", cd, wd)
+	}
+}
+
+// TestImplicitBindingsEquivalence checks the single-allocation merge
+// against the interpreted builder across collision cases.
+func TestImplicitBindingsEquivalence(t *testing.T) {
+	cases := []event.Bindings{
+		nil,
+		event.Bindings{}.Set("o", event.StringValue("x")),
+		event.Bindings{}.Set("event_begin", event.StringValue("user wins")),
+		event.Bindings{}.Set("a", event.IntValue(1)).Set("event_end", event.IntValue(2)).Set("z", event.IntValue(3)),
+		event.Bindings{}.Set("event_begin", event.IntValue(1)).
+			Set("event_end", event.IntValue(2)).
+			Set("event_interval", event.IntValue(3)),
+	}
+	for i, binds := range cases {
+		inst := &event.Instance{Begin: 1e9, End: 3e9, Binds: binds, Seq: 7}
+		got := implicitBindings(inst)
+		want := withImplicitBindings(inst)
+		if got.String() != want.String() {
+			t.Errorf("case %d: merge %s, interpreted %s", i, got, want)
+		}
+	}
+}

@@ -115,6 +115,17 @@ type Scenario struct {
 	Truth        Truth
 }
 
+// Canonicalize rewrites every observation's reader and object strings to
+// their canonical interned instances, in place. Generators build strings
+// with fmt.Sprintf per sighting; feeding a scenario through the engine's
+// intern table before replay mirrors what the wire and LLRP ingest edges
+// do and keeps one string instance per distinct EPC/reader alive.
+func (sc *Scenario) Canonicalize(in *event.Interner) {
+	for i := range sc.Observations {
+		sc.Observations[i] = in.CanonObservation(sc.Observations[i])
+	}
+}
+
 // Registry returns a type registry with the scenario's class mappings.
 func NewRegistry() *epc.Registry {
 	r := epc.NewRegistry()

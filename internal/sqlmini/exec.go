@@ -484,20 +484,28 @@ func (e *env) evalScalarCall(c *Call) (event.Value, error) {
 		}
 		args = append(args, v)
 	}
+	return e.applyScalar(c.Name, args)
+}
+
+// applyScalar dispatches a scalar call on already-evaluated arguments.
+// User functions are looked up dynamically (they may be registered after
+// statements are parsed or prepared) and shadow built-ins, matching
+// case-insensitively.
+func (e *env) applyScalar(cname string, args []event.Value) (event.Value, error) {
 	if e.funcs != nil {
 		for name, fn := range e.funcs {
-			if strings.EqualFold(name, c.Name) {
+			if strings.EqualFold(name, cname) {
 				return fn(args)
 			}
 		}
 	}
 	need := func(n int) error {
 		if len(args) != n {
-			return fmt.Errorf("sqlmini: %s needs %d argument(s), got %d", c.Name, n, len(args))
+			return fmt.Errorf("sqlmini: %s needs %d argument(s), got %d", cname, n, len(args))
 		}
 		return nil
 	}
-	switch strings.ToLower(c.Name) {
+	switch strings.ToLower(cname) {
 	case "upper":
 		if err := need(1); err != nil {
 			return event.Null, err
@@ -540,7 +548,7 @@ func (e *env) evalScalarCall(c *Call) (event.Value, error) {
 		}
 		return event.Null, nil
 	}
-	return event.Null, fmt.Errorf("sqlmini: unknown function %s", c.Name)
+	return event.Null, fmt.Errorf("sqlmini: unknown function %s", cname)
 }
 
 // execInsert inserts one row, or — for BULK INSERT — one row per element

@@ -1,0 +1,382 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"rcep/internal/core/event"
+	"rcep/internal/store"
+)
+
+// Statement/expression preparation (DESIGN.md §9): rule conditions and
+// action statements are parsed once at CREATE RULE time, but the
+// interpreter still walks the AST per firing. PrepareExpr and PrepareStmt
+// lower the AST into a closure tree once, so each firing runs direct
+// calls with every literal, operator and shape decision already resolved.
+//
+// Two invariants keep prepared evaluation byte-identical to the
+// interpreter:
+//
+//   - User functions are resolved at evaluation time, never at prepare
+//     time: Funcs maps are shared and mutated by registration calls that
+//     may run after preparation (rcep.RegisterFunc).
+//   - Preparation never fails. Expressions the interpreter rejects at
+//     evaluation time (unknown functions, aggregates outside SELECT,
+//     unsupported node types) compile to closures returning the same
+//     errors, so "parses ⇒ prepares" holds for any input — the
+//     FuzzCompileRule property.
+
+// evalFn is a compiled expression: evaluation against an environment.
+type evalFn func(*env) (event.Value, error)
+
+// PreparedExpr is a compiled standalone expression (a rule condition).
+type PreparedExpr struct {
+	fn    evalFn
+	funcs Funcs
+}
+
+// PrepareExpr compiles an expression for repeated evaluation. funcs is
+// retained by reference: functions registered in the map later are
+// visible to Eval, exactly as with EvalExpr.
+func PrepareExpr(x Expr, funcs Funcs) *PreparedExpr {
+	return &PreparedExpr{fn: compileExpr(x), funcs: funcs}
+}
+
+// Eval evaluates the prepared expression; it is equivalent to
+// EvalExpr(s, x, params, funcs) with the original AST.
+func (p *PreparedExpr) Eval(s *store.Store, params event.Bindings) (event.Value, error) {
+	e := env{store: s, params: params, funcs: p.funcs}
+	return p.fn(&e)
+}
+
+// errFn builds a compiled expression that reproduces an interpreter
+// evaluation error.
+func errFn(format string, args ...any) evalFn {
+	err := fmt.Errorf(format, args...)
+	return func(*env) (event.Value, error) { return event.Null, err }
+}
+
+// compileExpr lowers one expression node. Every branch mirrors env.eval
+// case for case; consult the interpreter for semantics.
+func compileExpr(x Expr) evalFn {
+	switch n := x.(type) {
+	case *Lit:
+		v := n.V
+		return func(*env) (event.Value, error) { return v, nil }
+	case *Ref:
+		name := n.Name
+		return func(e *env) (event.Value, error) { return e.resolve(name) }
+	case *Unary:
+		cx := compileExpr(n.X)
+		switch n.Op {
+		case "NOT":
+			return func(e *env) (event.Value, error) {
+				v, err := cx(e)
+				if err != nil {
+					return event.Null, err
+				}
+				return event.BoolValue(!truthy(v)), nil
+			}
+		case "-":
+			return func(e *env) (event.Value, error) {
+				v, err := cx(e)
+				if err != nil {
+					return event.Null, err
+				}
+				switch v.Kind() {
+				case event.KindInt:
+					return event.IntValue(-v.Int()), nil
+				case event.KindFloat:
+					return event.FloatValue(-v.Float()), nil
+				}
+				return event.Null, fmt.Errorf("sqlmini: cannot negate %s", v.Kind())
+			}
+		}
+		return errFn("sqlmini: unknown unary op %s", n.Op)
+	case *Binary:
+		return compileBinary(n)
+	case *Call:
+		if n.isAggregate() {
+			return errFn("sqlmini: aggregate %s outside SELECT projection", n.Name)
+		}
+		argFns := make([]evalFn, len(n.Args))
+		for i, a := range n.Args {
+			argFns[i] = compileExpr(a)
+		}
+		name := n.Name
+		return func(e *env) (event.Value, error) {
+			var args []event.Value
+			for _, af := range argFns {
+				v, err := af(e)
+				if err != nil {
+					return event.Null, err
+				}
+				args = append(args, v)
+			}
+			return e.applyScalar(name, args)
+		}
+	case *Exists:
+		sub, negate := n.Sub, n.Negate
+		return func(e *env) (event.Value, error) {
+			if e.store == nil {
+				return event.Null, fmt.Errorf("sqlmini: EXISTS requires a data store")
+			}
+			res, err := execSelect(e.store, sub, e.params)
+			if err != nil {
+				return event.Null, err
+			}
+			found := len(res.Rows) > 0
+			if negate {
+				found = !found
+			}
+			return event.BoolValue(found), nil
+		}
+	case *InList:
+		cx := compileExpr(n.X)
+		listFns := make([]evalFn, len(n.List))
+		for i, le := range n.List {
+			listFns[i] = compileExpr(le)
+		}
+		sub, negate := n.Sub, n.Negate
+		return func(e *env) (event.Value, error) {
+			v, err := cx(e)
+			if err != nil {
+				return event.Null, err
+			}
+			var found bool
+			if sub != nil {
+				found, err = inSubquery(e.store, sub, v, e.params)
+				if err != nil {
+					return event.Null, err
+				}
+			} else {
+				for _, lf := range listFns {
+					lv, err := lf(e)
+					if err != nil {
+						return event.Null, err
+					}
+					if v.Equal(lv) {
+						found = true
+						break
+					}
+				}
+			}
+			if negate {
+				found = !found
+			}
+			return event.BoolValue(found), nil
+		}
+	case *IsNull:
+		cx := compileExpr(n.X)
+		negate := n.Negate
+		return func(e *env) (event.Value, error) {
+			v, err := cx(e)
+			if err != nil {
+				return event.Null, err
+			}
+			isNull := v.IsNull()
+			if negate {
+				isNull = !isNull
+			}
+			return event.BoolValue(isNull), nil
+		}
+	case *Like:
+		cx := compileExpr(n.X)
+		cp := compileExpr(n.Pattern)
+		negate := n.Negate
+		return func(e *env) (event.Value, error) {
+			v, err := cx(e)
+			if err != nil {
+				return event.Null, err
+			}
+			p, err := cp(e)
+			if err != nil {
+				return event.Null, err
+			}
+			m := likeMatch(v.String(), p.String())
+			if negate {
+				m = !m
+			}
+			return event.BoolValue(m), nil
+		}
+	}
+	return errFn("sqlmini: unsupported expression %T", x)
+}
+
+// compileBinary lowers a binary operation, preserving AND/OR
+// short-circuiting.
+func compileBinary(n *Binary) evalFn {
+	cl := compileExpr(n.L)
+	cr := compileExpr(n.R)
+	switch n.Op {
+	case "AND":
+		return func(e *env) (event.Value, error) {
+			l, err := cl(e)
+			if err != nil {
+				return event.Null, err
+			}
+			if !truthy(l) {
+				return event.BoolValue(false), nil
+			}
+			r, err := cr(e)
+			if err != nil {
+				return event.Null, err
+			}
+			return event.BoolValue(truthy(r)), nil
+		}
+	case "OR":
+		return func(e *env) (event.Value, error) {
+			l, err := cl(e)
+			if err != nil {
+				return event.Null, err
+			}
+			if truthy(l) {
+				return event.BoolValue(true), nil
+			}
+			r, err := cr(e)
+			if err != nil {
+				return event.Null, err
+			}
+			return event.BoolValue(truthy(r)), nil
+		}
+	}
+	op := n.Op
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return func(e *env) (event.Value, error) {
+			l, err := cl(e)
+			if err != nil {
+				return event.Null, err
+			}
+			r, err := cr(e)
+			if err != nil {
+				return event.Null, err
+			}
+			return compareValues(op, l, r)
+		}
+	case "||":
+		return func(e *env) (event.Value, error) {
+			l, err := cl(e)
+			if err != nil {
+				return event.Null, err
+			}
+			r, err := cr(e)
+			if err != nil {
+				return event.Null, err
+			}
+			return event.StringValue(l.String() + r.String()), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return func(e *env) (event.Value, error) {
+			l, err := cl(e)
+			if err != nil {
+				return event.Null, err
+			}
+			r, err := cr(e)
+			if err != nil {
+				return event.Null, err
+			}
+			return arith(op, l, r)
+		}
+	}
+	return errFn("sqlmini: unknown operator %s", n.Op)
+}
+
+// PreparedStmt is a compiled statement. INSERT — the statement shape on
+// every rule firing's hot path (paper §3 action rules append to RFID
+// tables) — gets fully compiled VALUES expressions; other statement
+// shapes are row-context-entangled (their expressions resolve against a
+// changing schema per row) and execute through the interpreter, which
+// costs nothing extra since they were already parsed once.
+type PreparedStmt struct {
+	stmt Stmt
+	ins  *preparedInsert
+}
+
+type preparedInsert struct {
+	table  string
+	cols   []string
+	values []evalFn
+	bulk   bool
+}
+
+// PrepareStmt compiles a parsed statement for repeated execution.
+// Preparation never fails; execution reports the same errors the
+// interpreter would.
+func PrepareStmt(st Stmt) *PreparedStmt {
+	p := &PreparedStmt{stmt: st}
+	if ins, ok := st.(*Insert); ok {
+		pi := &preparedInsert{table: ins.Table, cols: ins.Cols, bulk: ins.Bulk}
+		pi.values = make([]evalFn, len(ins.Values))
+		for i, ve := range ins.Values {
+			pi.values[i] = compileExpr(ve)
+		}
+		p.ins = pi
+	}
+	return p
+}
+
+// Exec executes the prepared statement; it is equivalent to
+// ExecStmt(s, stmt, params).
+func (p *PreparedStmt) Exec(s *store.Store, params event.Bindings) (*Result, error) {
+	if p.ins == nil {
+		return ExecStmt(s, p.stmt, params)
+	}
+	return p.ins.exec(s, params)
+}
+
+// exec mirrors execInsert with compiled value expressions. Table and
+// column positions resolve per execution: tables can be created or
+// redefined between firings, and the interpreter resolves late too.
+func (pi *preparedInsert) exec(s *store.Store, params event.Bindings) (*Result, error) {
+	tbl, err := s.Table(pi.table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	positions := make([]int, len(pi.values))
+	if len(pi.cols) > 0 {
+		if len(pi.cols) != len(pi.values) {
+			return nil, fmt.Errorf("sqlmini: %d columns but %d values", len(pi.cols), len(pi.values))
+		}
+		for i, c := range pi.cols {
+			p := schema.Index(c)
+			if p < 0 {
+				return nil, fmt.Errorf("sqlmini: %s: no such column %s", pi.table, c)
+			}
+			positions[i] = p
+		}
+	} else {
+		if len(pi.values) != len(schema) {
+			return nil, fmt.Errorf("sqlmini: %s has %d columns but %d values given", pi.table, len(schema), len(pi.values))
+		}
+		for i := range positions {
+			positions[i] = i
+		}
+	}
+
+	n := 1
+	if pi.bulk {
+		n = bulkCardinality(params)
+	}
+	inserted := 0
+	for i := 0; i < n; i++ {
+		p := params
+		if pi.bulk {
+			p = elementView(params, i)
+		}
+		ev := env{store: s, params: p}
+		row := make([]event.Value, len(schema))
+		for j, vf := range pi.values {
+			v, err := vf(&ev)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[j]] = v
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	return &Result{RowsAffected: inserted}, nil
+}

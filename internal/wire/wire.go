@@ -232,6 +232,16 @@ func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
 		s.ingest = r.Push
 		s.flush = r.Flush
 	}
+	// Canonicalize at the very head of the chain: every JSON frame
+	// decodes fresh reader/object strings, and interning them here means
+	// the dedup window, the reorder buffer and all engine state share one
+	// instance per distinct value instead of one per frame.
+	if intern := eng.Interner(); intern != nil {
+		next := s.ingest
+		s.ingest = func(o event.Observation) error {
+			return next(intern.CanonObservation(o))
+		}
+	}
 	return s, nil
 }
 

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"net"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+	"unsafe"
 
 	"rcep"
+	"rcep/internal/core/event"
 )
 
 func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
@@ -290,5 +293,68 @@ func TestWireUnknownMessage(t *testing.T) {
 	}
 	if !strings.Contains(string(buf[:n]), "unknown message type") {
 		t.Fatalf("reply: %s", buf[:n])
+	}
+}
+
+// TestServerIngestCanonicalizes exercises the intern hook at the head of
+// the ingest chain: object strings decoded from distinct frames must
+// collapse to one canonical instance before they reach dedup, reorder and
+// the engine, so a firing's bindings carry the first-interned string.
+func TestServerIngestCanonicalizes(t *testing.T) {
+	var dets []rcep.Detection
+	srv, err := NewServer(rcep.Config{
+		Rules:       dupRule,
+		OnDetection: func(d rcep.Detection) { dets = append(dets, d) },
+	}, WithDedup(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := srv.Engine().Interner()
+	if in == nil {
+		t.Fatal("compiled engine exposes no interner")
+	}
+	canon := in.Canon("p" + strconv.Itoa(42)) // first-interned instance
+	for i := 0; i < 2; i++ {
+		// Each loop iteration builds fresh string instances, as a JSON
+		// decoder would per frame.
+		obs := event.Observation{
+			Reader: "dock" + strconv.Itoa(1),
+			Object: "p" + strconv.Itoa(42),
+			At:     event.Time(time.Duration(i) * time.Second),
+		}
+		if err := srv.ingest(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1", len(dets))
+	}
+	o, ok := dets[0].Bindings["o"].(string)
+	if !ok || o != "p42" {
+		t.Fatalf("binding o = %v", dets[0].Bindings["o"])
+	}
+	if unsafe.StringData(o) != unsafe.StringData(canon) {
+		t.Errorf("binding carries a non-canonical string instance")
+	}
+	if srv.Engine().Close() != nil {
+		t.Fatal("close")
+	}
+}
+
+// TestServerInterpretedNoInterner: the oracle path has no intern table and
+// the server must run without the canonicalization stage.
+func TestServerInterpretedNoInterner(t *testing.T) {
+	srv, err := NewServer(rcep.Config{Rules: dupRule, Interpreted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Engine().Interner() != nil {
+		t.Fatal("interpreted engine should expose no interner")
+	}
+	if err := srv.ingest(event.Observation{Reader: "dock1", Object: "p42", At: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Engine().Close(); err != nil {
+		t.Fatal(err)
 	}
 }

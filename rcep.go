@@ -94,8 +94,17 @@ type Config struct {
 
 	// IndexPrimitives dispatches observations by reader literal instead
 	// of probing every leaf pattern — recommended for deployments with
-	// many rules over distinct readers.
+	// many rules over distinct readers. It governs the interpreted path
+	// only; the compiled path always dispatches by interned reader
+	// symbol.
 	IndexPrimitives bool
+
+	// Interpreted runs the per-event hot path through the AST
+	// interpreters (pattern matching, rule conditions and actions)
+	// instead of the plans compiled at CREATE RULE time. The compiled
+	// path is the default; the interpreter is kept as the oracle for
+	// equivalence and regression runs (see internal/bench).
+	Interpreted bool
 
 	// Shards, when > 1, partitions the rule set by reader/group key
 	// space and runs up to that many detection engines in parallel (see
@@ -199,6 +208,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.exec = rules.NewExecutor(rs, e.store, e.procs, e.funcs)
+	e.exec.Interpreted = cfg.Interpreted
 	e.exec.OnError = func(r *rules.Rule, err error) {
 		e.errs = append(e.errs, fmt.Errorf("rule %s: %w", r.ID, err))
 	}
@@ -245,6 +255,7 @@ func New(cfg Config) (*Engine, error) {
 			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
 			MaxHistory:         cfg.MaxHistory,
 			MaxOpenSequence:    cfg.MaxOpenSequence,
+			Interpreted:        cfg.Interpreted,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rcep: %w", err)
@@ -262,6 +273,7 @@ func New(cfg Config) (*Engine, error) {
 			MaxPartitionBuffer: cfg.MaxPartitionBuffer,
 			MaxHistory:         cfg.MaxHistory,
 			MaxOpenSequence:    cfg.MaxOpenSequence,
+			Interpreted:        cfg.Interpreted,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rcep: %w", err)
@@ -281,6 +293,18 @@ func New(cfg Config) (*Engine, error) {
 // facade: 1 in classic single-engine mode, the partition's shard count
 // (≤ Config.Shards) otherwise.
 func (e *Engine) Shards() int { return e.shards }
+
+// Interner returns the engine's shared string intern table, or nil when
+// the interpreted oracle path is active. Ingest adapters (wire server,
+// LLRP readers) canonicalize reader and EPC strings through it so every
+// long-lived copy downstream shares one instance per distinct value. The
+// table is goroutine-safe and only ever grows.
+func (e *Engine) Interner() *event.Interner {
+	if e.sh != nil {
+		return e.sh.Interner()
+	}
+	return e.eng.Interner()
+}
 
 // sync forces pending sharded detections (and therefore rule actions)
 // to be delivered before state the actions feed — the audit log, the
