@@ -65,7 +65,7 @@ func genRule(r *rand.Rand) event.Expr {
 	if r.Intn(2) == 1 {
 		grp = "odd"
 	}
-	switch r.Intn(7) {
+	switch r.Intn(10) {
 	case 0:
 		return &event.TSeq{
 			L: lit(pick(), "o1", "t1"), R: lit(pick(), "o2", "t2"),
@@ -100,10 +100,37 @@ func genRule(r *rand.Rand) event.Expr {
 			},
 			Max: 5 * time.Second,
 		}
-	default:
+	case 6:
 		return &event.Within{
 			X:   &event.Seq{L: vars("r", "o", "u1"), R: vars("r", "o", "u2")},
 			Max: 5 * time.Second,
+		}
+	case 7:
+		// Inequality guard between constituents (objects compare as
+		// strings): SEQ(...) WHERE o2 > o1, WITHIN 5s.
+		return &event.Within{
+			X: &event.Guarded{
+				X:    &event.Seq{L: lit(pick(), "o1", "t1"), R: lit(pick(), "o2", "t2")},
+				Cond: &event.GBin{Op: event.GuardGt, L: &event.GVar{Name: "o2"}, R: &event.GVar{Name: "o1"}},
+			},
+			Max: 5 * time.Second,
+		}
+	case 8:
+		// Aggregate guard over a closure run: TSEQ+ WHERE COUNT(o) >= 2.
+		return &event.Guarded{
+			X: &event.TSeqPlus{X: lit(pick(), "o", "t"), Lo: 0, Hi: time.Second},
+			Cond: &event.GBin{
+				Op: event.GuardGe,
+				L:  &event.GAgg{Op: event.AggCount, Name: "o"},
+				R:  &event.GLit{V: event.IntValue(2)},
+			},
+		}
+	default:
+		// Window-scoped negation: SEQ(E ; NOT E' WITHIN 3s) — the
+		// absence window rides on the NOT, not on an enclosing WITHIN.
+		return &event.Seq{
+			L: lit(pick(), "o", "t1"),
+			R: &event.Not{X: lit(pick(), "o", "t2"), Win: 3 * time.Second},
 		}
 	}
 }

@@ -45,6 +45,19 @@ type ckOpenSeq struct {
 	Begin   event.Time       `json:"begin"`
 	Last    event.Time       `json:"last"`
 	Version uint64           `json:"version"`
+	// Aggs carries the guard's running aggregate accumulators, one per
+	// aggregated variable in guardState.aggVars order. The shard/v1 and
+	// cluster/v1 formats need no version bump: a guarded node's
+	// canonical key (and so the graph fingerprint) differs from its
+	// unguarded twin, so old checkpoints can never restore onto a
+	// guarded graph.
+	Aggs []ckAgg `json:"aggs,omitempty"`
+}
+
+// ckAgg is one checkpointed aggregate accumulator.
+type ckAgg struct {
+	Var string       `json:"var"`
+	Acc event.AggAcc `json:"acc"`
 }
 
 type ckNode struct {
@@ -126,6 +139,11 @@ func (e *Engine) SaveCheckpoint(w io.Writer) error {
 				Elems: st.open.elems, Starts: st.open.starts,
 				Begin: st.open.begin,
 				Last:  st.open.last, Version: st.open.version,
+			}
+			if st.open.accs != nil {
+				for i, v := range st.guard.aggVars {
+					cn.Open.Aggs = append(cn.Open.Aggs, ckAgg{Var: v, Acc: st.open.accs[i]})
+				}
 			}
 			dirty = true
 		}
@@ -209,6 +227,28 @@ func (e *Engine) RestoreCheckpoint(r io.Reader) error {
 				elems: cn.Open.Elems, starts: cn.Open.Starts,
 				begin: cn.Open.Begin,
 				last:  cn.Open.Last, version: cn.Open.Version,
+			}
+			// Accumulators are maintained in both execution modes, so a
+			// guarded node's live open sequence always carries exactly
+			// one per aggregated variable; anything else is corruption.
+			var aggVars []string
+			if st.guard != nil {
+				aggVars = st.guard.aggVars
+			}
+			if len(cn.Open.Aggs) != len(aggVars) {
+				return fmt.Errorf("detect: restore: node %d open sequence has %d aggregate accumulator(s), want %d", cn.ID, len(cn.Open.Aggs), len(aggVars))
+			}
+			if len(aggVars) > 0 {
+				st.open.accs = make([]event.AggAcc, len(aggVars))
+				for i, ca := range cn.Open.Aggs {
+					if ca.Var != aggVars[i] {
+						return fmt.Errorf("detect: restore: node %d aggregate accumulator %d is for variable %q, want %q", cn.ID, i, ca.Var, aggVars[i])
+					}
+					if ca.Acc.N < 0 || ca.Acc.N > int64(len(cn.Open.Elems)) {
+						return fmt.Errorf("detect: restore: node %d aggregate accumulator %q counts %d values over %d element(s)", cn.ID, ca.Var, ca.Acc.N, len(cn.Open.Elems))
+					}
+					st.open.accs[i] = ca.Acc
+				}
 			}
 		}
 	}

@@ -75,6 +75,10 @@ type primPlan struct {
 	// interpreted matcher rejects such patterns per event; the plan
 	// rejects them at compile time.
 	dead bool
+
+	// guard is the node's compiled WHERE runtime, shared with the
+	// node state; nil for unguarded patterns.
+	guard *guardState
 }
 
 // compilePrim lowers one primitive pattern node, interning its literals
@@ -157,6 +161,7 @@ func (e *Engine) buildPlans() {
 	byLit := map[event.Symbol][]*primPlan{}
 	for _, p := range e.g.Prims {
 		pl := compilePrim(p, e.intern)
+		pl.guard = e.states[p.ID].guard
 		if pl.readerLit {
 			byLit[pl.readerSym] = append(byLit[pl.readerSym], pl)
 		} else {
@@ -239,7 +244,7 @@ func (e *Engine) matchPlan(pl *primPlan, obs event.Observation, rsym, osym event
 		}
 	}
 	if len(pl.binds) == 0 {
-		return nil, true
+		return nil, pl.guard == nil || e.guardPass(pl.guard, event.BindsLookup(nil), nil)
 	}
 	binds := make(event.Bindings, len(pl.binds))
 	for i, s := range pl.binds {
@@ -251,6 +256,9 @@ func (e *Engine) matchPlan(pl *primPlan, obs event.Observation, rsym, osym event
 		default:
 			binds[i] = event.Binding{Var: s.varName, Val: event.TimeValue(obs.At)}
 		}
+	}
+	if pl.guard != nil && !e.guardPass(pl.guard, event.BindsLookup(binds), nil) {
+		return nil, false
 	}
 	return binds, true
 }

@@ -150,6 +150,10 @@ type nodeState struct {
 	// open is the current open sequence of an eager SEQ+/TSEQ+ node.
 	open *openSeq
 
+	// guard is the node's WHERE predicate runtime (guardplan.go); nil
+	// for unguarded nodes.
+	guard *guardState
+
 	// closureDelay bounds how long after an instance's End this node may
 	// emit it (e.g. a TSEQ+ closure fires Hi after its last element).
 	closureDelay time.Duration
@@ -163,6 +167,11 @@ type openSeq struct {
 	begin   event.Time
 	last    event.Time
 	version uint64
+	// accs are running aggregate accumulators for the node's guard,
+	// indexed like guardState.aggVars; nil until the first element of a
+	// guarded run. Maintained in both execution modes so checkpoints are
+	// mode-independent.
+	accs []event.AggAcc
 }
 
 // pseudoEvent queries the occurrences (or non-occurrences) of a target
@@ -236,6 +245,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for _, n := range cfg.Graph.Nodes {
 		st := &nodeState{n: n}
+		if n.Guard != nil {
+			st.guard = newGuardState(n, !cfg.Interpreted)
+		}
 		if n.Kind == graph.KindAnd || n.Kind == graph.KindSeq {
 			st.left = limit(newBuffer(n.JoinVars))
 		}
@@ -500,6 +512,9 @@ func (e *Engine) matchPrim(n *graph.Node, obs event.Observation) (event.Bindings
 	}
 	if p.At.IsVar() {
 		binds = binds.Set(p.At.Var, event.TimeValue(obs.At))
+	}
+	if !e.guardPassBinds(n, binds) {
+		return nil, false
 	}
 	return binds, true
 }

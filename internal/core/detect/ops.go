@@ -36,6 +36,9 @@ func (e *Engine) emit(n *graph.Node, inst *event.Instance) {
 func (e *Engine) deliver(p *graph.Node, from *graph.Node, inst *event.Instance) {
 	switch p.Kind {
 	case graph.KindOr:
+		if !e.guardPassBinds(p, inst.Binds) {
+			return
+		}
 		e.emit(p, &event.Instance{Begin: inst.Begin, End: inst.End, Binds: inst.Binds, Seq: e.nextSeq()})
 	case graph.KindNot:
 		// Occurrences of the negated child are visible through its
@@ -58,8 +61,22 @@ func (e *Engine) andDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		// retrospectively for N in [t_end(p)−w, t_end(p)]; if clean,
 		// schedule a pseudo event at t_begin(p)+w querying
 		// [t_end(p), t_begin(p)+w].
+		//
+		// A scoped negation (P ∧ ¬N WITHIN v) replaces w with v and
+		// anchors both windows at t_end(p): absence is asserted over
+		// [t_end(p)−v, t_end(p)+v], within v of the positive's end,
+		// independent of the enclosing WITHIN.
+		if !e.guardPassBinds(p, inst.Binds) {
+			return
+		}
+		notN := p.Children[p.NotChild]
 		w := p.Within
-		neg := p.Children[p.NotChild].Child()
+		exec := inst.Begin.Add(w)
+		if notN.HasNotWin {
+			w = notN.NotWin
+			exec = inst.End.Add(w)
+		}
+		neg := notN.Child()
 		filter := e.projectFilter(inst.Binds, p.JoinVars)
 		hit := e.occurs(neg, inst.End.Add(-w), inst.End, filter)
 		e.releaseFilter(filter)
@@ -68,8 +85,8 @@ func (e *Engine) andDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		}
 		ps := e.newPseudo()
 		*ps = pseudoEvent{
-			exec: inst.Begin.Add(w), node: p, strategy: graph.PseudoAndNotExpire,
-			payload: inst, w0: inst.End, w1: inst.Begin.Add(w),
+			exec: exec, node: p, strategy: graph.PseudoAndNotExpire,
+			payload: inst, w0: inst.End, w1: exec,
 		}
 		e.schedule(ps)
 		return
@@ -99,7 +116,19 @@ func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		if fromRight {
 			return
 		}
-		b, _ := p.Bound()
+		if !e.guardPassBinds(p, inst.Binds) {
+			return
+		}
+		// A scoped negated terminator (SEQ(P ; ¬N WITHIN v)) confirms
+		// absence over (t_end(p), t_end(p)+v] regardless of the outer
+		// bound; otherwise the window runs to the enclosing bound.
+		r := p.Right()
+		var b time.Duration
+		if r.HasNotWin {
+			b = r.NotWin
+		} else {
+			b, _ = p.Bound()
+		}
 		ps := e.newPseudo()
 		*ps = pseudoEvent{
 			exec: inst.End.Add(b), node: p, strategy: graph.PseudoSeqNotTerm,
@@ -110,21 +139,33 @@ func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 	}
 	// Negated initiator (infield pattern): on terminator arrival, check
 	// retrospectively that the negated event did not occur in
-	// [t_end(e2)−bound, t_begin(e2)).
+	// [t_end(e2)−bound, t_begin(e2)). A scoped negated initiator
+	// (SEQ(¬N WITHIN v ; P)) anchors the window at the terminator's
+	// begin instead: [t_begin(e2)−v, t_begin(e2)).
 	if p.NotChild == 0 {
 		if !fromRight {
 			return
 		}
-		b, _ := p.Bound()
-		neg := p.Left().Child()
+		if !e.guardPassBinds(p, inst.Binds) {
+			return
+		}
+		l := p.Left()
+		var a event.Time
+		if l.HasNotWin {
+			a = inst.Begin.Add(-l.NotWin)
+		} else {
+			b, _ := p.Bound()
+			a = inst.End.Add(-b)
+		}
+		neg := l.Child()
 		filter := e.projectFilter(inst.Binds, p.JoinVars)
-		hit := e.occurs(neg, inst.End.Add(-b), inst.Begin-1, filter)
+		hit := e.occurs(neg, a, inst.Begin-1, filter)
 		e.releaseFilter(filter)
 		if hit {
 			return
 		}
 		e.emit(p, &event.Instance{
-			Begin: inst.End.Add(-b), End: inst.End,
+			Begin: a, End: inst.End,
 			Binds: inst.Binds, Seq: e.nextSeq(),
 		})
 		return
@@ -246,9 +287,12 @@ func (e *Engine) pair(p *graph.Node, st *nodeState, inst *event.Instance, mine, 
 }
 
 // pairCond builds the admissibility predicate for a candidate from the
-// opposite buffer: binding compatibility, sequence order, distance bounds
-// and the interval constraint.
+// opposite buffer: binding compatibility, sequence order, distance bounds,
+// the interval constraint and the node's guard. Guards sit inside the
+// predicate so a failed guard never consumes the candidate (chronicle
+// keeps scanning for an admissible partner).
 func (e *Engine) pairCond(p *graph.Node, inst *event.Instance, arrivedRight bool) func(*event.Instance) bool {
+	gs := e.states[p.ID].guard
 	return func(c *event.Instance) bool {
 		var l, r *event.Instance
 		if p.Kind == graph.KindSeq {
@@ -268,6 +312,11 @@ func (e *Engine) pairCond(p *graph.Node, inst *event.Instance, arrivedRight bool
 			}
 		}
 		if p.HasWithin && event.Interval2(c, inst) > p.Within {
+			return false
+		}
+		// The arriving instance's bindings shadow the candidate's,
+		// matching the Merge order in combine.
+		if gs != nil && !e.guardPass(gs, event.PairLookup(inst.Binds, c.Binds), nil) {
 			return false
 		}
 		return true
@@ -322,8 +371,14 @@ func (e *Engine) seqPullInitiator(p *graph.Node, term *event.Instance) {
 	if w1 > term.Begin-1 {
 		w1 = term.Begin - 1
 	}
+	var accept func(*event.Instance) bool
+	if gs := e.states[p.ID].guard; gs != nil {
+		accept = func(run *event.Instance) bool {
+			return e.guardPass(gs, event.PairLookup(term.Binds, run.Binds), nil)
+		}
+	}
 	filter := e.projectFilter(term.Binds, p.JoinVars)
-	seqInst := e.querySeqPlus(l, w0, w1, filter, p.ID)
+	seqInst := e.querySeqPlus(l, w0, w1, filter, p.ID, accept)
 	e.releaseFilter(filter)
 	if seqInst == nil {
 		return
@@ -360,6 +415,7 @@ func (e *Engine) seqPlusDeliver(n *graph.Node, inst *event.Instance) {
 	st.open.starts = append(st.open.starts, inst.Begin)
 	st.open.last = inst.End
 	st.open.version = e.nextSeq()
+	st.addAccs(inst.Binds)
 	if e.maxOpen > 0 && len(st.open.elems) > e.maxOpen {
 		// Unbounded adjacent run (the stream never pauses): shed the
 		// older half so memory stays bounded. Prefer WITHIN bounds on
@@ -369,6 +425,7 @@ func (e *Engine) seqPlusDeliver(n *graph.Node, inst *event.Instance) {
 		st.open.elems = append(st.open.elems[:0:0], st.open.elems[drop:]...)
 		st.open.starts = append(st.open.starts[:0:0], st.open.starts[drop:]...)
 		st.open.begin = st.open.starts[0]
+		st.rebuildAccs()
 	}
 	if n.Pseudo {
 		ps := e.newPseudo()
@@ -390,7 +447,14 @@ func (e *Engine) closeOpen(n *graph.Node, st *nodeState) {
 		Begin: st.open.begin, End: st.open.last,
 		Binds: event.CollectLists(st.open.elems), Seq: e.nextSeq(),
 	}
+	accs := st.open.accs
 	st.open = nil
+	// The guard sees the run's running accumulators (compiled path) or
+	// folds the collected lists (interpreted oracle); the Seq number is
+	// consumed either way so both paths stay aligned.
+	if st.guard != nil && !e.guardPass(st.guard, event.BindsLookup(inst.Binds), accs) {
+		return
+	}
 	if n.Pseudo {
 		e.emit(n, inst)
 		return
@@ -415,16 +479,24 @@ func (e *Engine) lazyClose(n *graph.Node, st *nodeState) {
 // querySeqPlus returns the oldest sequence instance of a pulled SEQ+/TSEQ+
 // node ending inside [w0, w1] that the consumer node has not yet claimed,
 // or nil; the returned instance is claimed for that consumer (chronicle).
-func (e *Engine) querySeqPlus(n *graph.Node, w0, w1 event.Time, filter event.Bindings, consumer int) *event.Instance {
+// accept, when non-nil, is the consumer's admissibility predicate (its
+// guard over the joined bindings); a rejected run is not consumed, and on
+// the eager path the scan continues to older runs.
+func (e *Engine) querySeqPlus(n *graph.Node, w0, w1 event.Time, filter event.Bindings, consumer int, accept func(*event.Instance) bool) *event.Instance {
 	st := e.states[n.ID]
 	if n.HasDist {
 		// Eagerly built TSEQ+: close lazily, then take from history.
+		// The node's own guard was applied at closeOpen, before the run
+		// entered history.
 		e.lazyClose(n, st)
 		var found *event.Instance
 		if st.hist == nil {
 			return nil
 		}
 		st.hist.inWindow(w0, w1, filter, consumer, func(in *event.Instance) bool {
+			if accept != nil && !accept(in) {
+				return true
+			}
 			found = in
 			return false
 		})
@@ -457,10 +529,20 @@ func (e *Engine) querySeqPlus(n *graph.Node, w0, w1 event.Time, filter event.Bin
 	if len(elems) == 0 {
 		return nil
 	}
+	// The Seq number is consumed before the guards so both execution
+	// modes number later instances identically even when the run is
+	// rejected.
+	seqInst := &event.Instance{Begin: begin, End: end, Binds: event.CollectLists(elems), Seq: e.nextSeq()}
+	if st.guard != nil && !e.guardPass(st.guard, event.BindsLookup(seqInst.Binds), nil) {
+		return nil
+	}
+	if accept != nil && !accept(seqInst) {
+		return nil
+	}
 	for _, m := range members {
 		cst.hist.markConsumed(consumer, m)
 	}
-	return &event.Instance{Begin: begin, End: end, Binds: event.CollectLists(elems), Seq: e.nextSeq()}
+	return seqInst
 }
 
 // occurs reports whether node n has an occurrence in [a, b] compatible

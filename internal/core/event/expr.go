@@ -82,7 +82,12 @@ func (t Term) String() string {
 	if t.IsVar() {
 		return t.Var
 	}
-	return "'" + t.Lit + "'"
+	if t.Lit == "" {
+		// Anonymous position (the struct cannot distinguish an empty
+		// literal from '_'; both match like '_').
+		return "_"
+	}
+	return "'" + strings.ReplaceAll(t.Lit, "'", "''") + "'"
 }
 
 // Pred is an attribute predicate on a primitive event pattern, such as
@@ -100,7 +105,7 @@ func (p Pred) String() string {
 	if p.Fn != "" {
 		lhs = p.Fn + "(" + p.Arg + ")"
 	}
-	return fmt.Sprintf("%s %s '%s'", lhs, p.Op, p.Val)
+	return fmt.Sprintf("%s %s '%s'", lhs, p.Op, strings.ReplaceAll(p.Val, "'", "''"))
 }
 
 // Prim is a primitive event pattern: observation(reader, object, time) with
@@ -156,12 +161,40 @@ func (e *And) String() string { return "(" + e.L.String() + " AND " + e.R.String
 
 // Not is the negation ¬E: occurs over a window iff no instance of E occurs
 // in that window. Negation is non-spontaneous (pull mode).
-type Not struct{ X Expr }
+//
+// Win, when positive, scopes the negation to its own window (written
+// `NOT E WITHIN w`): the absence of E is asserted over a w-wide window
+// anchored at the adjacent positive constituent, independent of any
+// WITHIN/TSEQ bound on the enclosing expression. Win = 0 is classic
+// unscoped negation.
+type Not struct {
+	X   Expr
+	Win time.Duration
+}
 
 func (*Not) isExpr() {}
 
 // String implements fmt.Stringer.
-func (e *Not) String() string { return "NOT " + e.X.String() }
+func (e *Not) String() string {
+	if e.Win > 0 {
+		return "NOT " + e.X.String() + " WITHIN " + FormatDuration(e.Win)
+	}
+	return "NOT " + e.X.String()
+}
+
+// Guarded attaches a value predicate to an event sub-expression:
+// X WHERE Cond. The guard filters X's occurrences by their bindings —
+// inequality and arithmetic relations between constituents, and
+// aggregates over SEQ+ runs — without introducing new bindings.
+type Guarded struct {
+	X    Expr
+	Cond GExpr
+}
+
+func (*Guarded) isExpr() {}
+
+// String implements fmt.Stringer.
+func (e *Guarded) String() string { return e.X.String() + " WHERE " + e.Cond.String() }
 
 // Seq is the sequence E1 ; E2: occurs when E2 occurs given that E1 has
 // already occurred (E1 ends before E2 begins).
@@ -238,6 +271,8 @@ func Walk(e Expr, visit func(Expr) bool) {
 		Walk(x.L, visit)
 		Walk(x.R, visit)
 	case *Not:
+		Walk(x.X, visit)
+	case *Guarded:
 		Walk(x.X, visit)
 	case *Seq:
 		Walk(x.L, visit)

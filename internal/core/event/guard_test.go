@@ -1,0 +1,103 @@
+package event
+
+import (
+	"testing"
+	"time"
+)
+
+func lk(b Bindings) GuardLookup { return BindsLookup(b) }
+
+func TestGuardCompareAndArith(t *testing.T) {
+	b := Bindings{}.
+		Set("i", IntValue(10)).
+		Set("f", FloatValue(2.5)).
+		Set("s", StringValue("27.5")).
+		Set("w", StringValue("word")).
+		Set("t1", TimeValue(Time(10*time.Second))).
+		Set("t2", TimeValue(Time(25*time.Second)))
+	cases := []struct {
+		g    GExpr
+		want bool
+	}{
+		{&GBin{Op: GuardGt, L: &GVar{"i"}, R: &GLit{IntValue(9)}}, true},
+		{&GBin{Op: GuardGt, L: &GVar{"s"}, R: &GLit{IntValue(8)}}, true}, // payload coercion
+		{&GBin{Op: GuardLt, L: &GVar{"s"}, R: &GLit{IntValue(8)}}, false},
+		{&GBin{Op: GuardGe, L: &GVar{"f"}, R: &GLit{FloatValue(2.5)}}, true},
+		{&GBin{Op: GuardGt, L: &GVar{"t2"}, R: &GBin{Op: GuardAdd, L: &GVar{"t1"}, R: &GLit{IntValue(5)}}}, true},
+		{&GBin{Op: GuardGt, L: &GVar{"t2"}, R: &GBin{Op: GuardAdd, L: &GVar{"t1"}, R: &GLit{IntValue(20)}}}, false},
+		{&GBin{Op: GuardEq, L: &GVar{"w"}, R: &GLit{StringValue("word")}}, true},
+		{&GBin{Op: GuardGt, L: &GVar{"w"}, R: &GLit{IntValue(1)}}, false},   // incomparable
+		{&GBin{Op: GuardGt, L: &GVar{"none"}, R: &GLit{IntValue(0)}}, false}, // unbound → Null → false
+		{&GBin{Op: GuardGt, L: &GBin{Op: GuardDiv, L: &GVar{"i"}, R: &GLit{IntValue(0)}}, R: &GLit{IntValue(-1)}}, false},
+		{&GNot{&GBin{Op: GuardEq, L: &GVar{"i"}, R: &GLit{IntValue(3)}}}, true},
+		{&GBin{Op: GuardOr, L: &GBin{Op: GuardEq, L: &GVar{"i"}, R: &GLit{IntValue(3)}}, R: &GBin{Op: GuardEq, L: &GVar{"f"}, R: &GLit{FloatValue(2.5)}}}, true},
+		{&GBin{Op: GuardAnd, L: &GBin{Op: GuardEq, L: &GVar{"i"}, R: &GLit{IntValue(10)}}, R: &GBin{Op: GuardEq, L: &GVar{"w"}, R: &GLit{StringValue("x")}}}, false},
+		{&GBin{Op: GuardLt, L: &GNeg{&GVar{"i"}}, R: &GLit{IntValue(0)}}, true},
+	}
+	for i, c := range cases {
+		if got := EvalGuard(c.g, lk(b)); got != c.want {
+			t.Errorf("case %d %s: got %v, want %v", i, c.g, got, c.want)
+		}
+	}
+}
+
+// TestAggAccMatchesFold pins the accumulator invariant the compiled path
+// relies on: incremental Add over a run equals FoldAgg over the
+// collected list binding, op by op.
+func TestAggAccMatchesFold(t *testing.T) {
+	runs := [][]Value{
+		{},
+		{IntValue(3)},
+		{IntValue(3), IntValue(5), IntValue(1)},
+		{IntValue(3), FloatValue(2.5)},
+		{StringValue("27.5"), StringValue("4"), Null},
+		{StringValue("word"), IntValue(1)},            // non-numeric under SUM/AVG
+		{BoolValue(true), IntValue(2)},                // incomparable under MIN/MAX
+		{TimeValue(Time(5 * time.Second)), TimeValue(Time(9 * time.Second))},
+	}
+	for ri, run := range runs {
+		var acc AggAcc
+		for _, v := range run {
+			acc.Add(CoerceScalar(v))
+		}
+		list := ListValue(run)
+		for _, op := range []AggOp{AggCount, AggSum, AggAvg, AggMin, AggMax} {
+			av, aerr := acc.Result(op)
+			fv, ferr := FoldAgg(op, list)
+			if (aerr == nil) != (ferr == nil) {
+				t.Fatalf("run %d %s: acc err %v, fold err %v", ri, op, aerr, ferr)
+			}
+			if aerr == nil && (av.Kind() != fv.Kind() || !av.Equal(fv)) {
+				t.Fatalf("run %d %s: acc %v (%v), fold %v (%v)", ri, op, av, av.Kind(), fv, fv.Kind())
+			}
+		}
+	}
+}
+
+func TestFoldAggScalarAndEmpty(t *testing.T) {
+	if v, err := FoldAgg(AggCount, Null); err != nil || v.Int() != 0 {
+		t.Fatalf("COUNT(null) = %v, %v", v, err)
+	}
+	if v, err := FoldAgg(AggSum, Null); err != nil || v.Kind() != KindInt || v.Int() != 0 {
+		t.Fatalf("SUM(null) = %v, %v", v, err)
+	}
+	if v, err := FoldAgg(AggAvg, Null); err != nil || !v.IsNull() {
+		t.Fatalf("AVG(null) = %v, %v", v, err)
+	}
+	if v, err := FoldAgg(AggMax, StringValue("27.5")); err != nil || v.Float() != 27.5 {
+		t.Fatalf("MAX(scalar) = %v, %v", v, err)
+	}
+}
+
+func TestGuardVarsAndAggVars(t *testing.T) {
+	g := &GBin{Op: GuardAnd,
+		L: &GBin{Op: GuardGt, L: &GAgg{AggMax, "v"}, R: &GVar{"lim"}},
+		R: &GBin{Op: GuardGe, L: &GAgg{AggCount, "v"}, R: &GLit{IntValue(3)}},
+	}
+	if got := GuardVars(g); len(got) != 2 || got[0] != "lim" || got[1] != "v" {
+		t.Fatalf("GuardVars = %v", got)
+	}
+	if got := GuardAggVars(g); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("GuardAggVars = %v", got)
+	}
+}

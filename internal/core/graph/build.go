@@ -108,11 +108,30 @@ func (b *Builder) build(expr event.Expr, ruleID int) (*Node, error) {
 		n.Lo, n.Hi, n.HasDist = e.Lo, e.Hi, true
 		return n, nil
 	case *event.Not:
+		if e.Win < 0 {
+			return nil, &InvalidRuleError{RuleID: ruleID,
+				Reason: fmt.Sprintf("negation window %s must be positive", e.Win)}
+		}
 		c, err := b.build(e.X, ruleID)
 		if err != nil {
 			return nil, err
 		}
-		return &Node{Kind: KindNot, Children: []*Node{c}, NotChild: -1}, nil
+		n := &Node{Kind: KindNot, Children: []*Node{c}, NotChild: -1}
+		if e.Win > 0 {
+			n.NotWin, n.HasNotWin = e.Win, true
+		}
+		return n, nil
+	case *event.Guarded:
+		if e.Cond == nil {
+			return nil, &InvalidRuleError{RuleID: ruleID, Reason: "nil guard expression"}
+		}
+		n, err := b.build(e.X, ruleID)
+		if err != nil {
+			return nil, err
+		}
+		// Stacked guards (X WHERE g1 WHERE g2) conjoin on the same node.
+		n.Guard = event.GConj(n.Guard, e.Cond)
+		return n, nil
 	case *event.SeqPlus:
 		c, err := b.build(e.X, ruleID)
 		if err != nil {
@@ -220,8 +239,8 @@ func (b *Builder) analyze(n *Node, ruleID int) error {
 		case pulls == 2:
 			return fail("conjunction of two non-spontaneous events can never be detected")
 		case pulls == 1:
-			if !n.HasWithin {
-				return fail("AND with a negated conjunct requires a WITHIN bound to be detectable")
+			if !n.HasWithin && !n.Children[n.NotChild].HasNotWin {
+				return fail("AND with a negated conjunct requires a WITHIN bound or a scoped negation (NOT E WITHIN w) to be detectable")
 			}
 			n.Mode = ModeMixed
 		case l.Mode == ModePush && r.Mode == ModePush:
@@ -232,8 +251,8 @@ func (b *Builder) analyze(n *Node, ruleID int) error {
 	case KindSeq:
 		l, r := n.Left(), n.Right()
 		if l.Mode == ModePull {
-			if _, ok := n.Bound(); !ok {
-				return fail("sequence with non-spontaneous initiator %s requires TSEQ bounds or a WITHIN constraint", l.Kind)
+			if _, ok := n.Bound(); !ok && !(l.Kind == KindNot && l.HasNotWin) {
+				return fail("sequence with non-spontaneous initiator %s requires TSEQ bounds or a WITHIN constraint (or a scoped negation)", l.Kind)
 			}
 		}
 		switch r.Mode {
@@ -241,8 +260,8 @@ func (b *Builder) analyze(n *Node, ruleID int) error {
 			if r.Kind != KindNot {
 				return fail("sequence terminator %s is non-spontaneous; only NOT is supported as a pull terminator", r.Kind)
 			}
-			if _, ok := n.Bound(); !ok {
-				return fail("sequence with negated terminator requires TSEQ bounds or a WITHIN constraint")
+			if _, ok := n.Bound(); !ok && !r.HasNotWin {
+				return fail("sequence with negated terminator requires TSEQ bounds or a WITHIN constraint (or a scoped negation)")
 			}
 			if l.Mode == ModePull {
 				return fail("sequence of two non-spontaneous events can never be detected")
@@ -266,9 +285,39 @@ func (b *Builder) analyze(n *Node, ruleID int) error {
 			n.Mode = ModePull
 		}
 	}
+	if n.Guard != nil {
+		if n.Kind == KindNot {
+			return fail("a guard cannot be attached to a negation; guard the negated event instead")
+		}
+		avail := map[string]struct{}{}
+		availableVars(n, avail)
+		for _, v := range event.GuardVars(n.Guard) {
+			if _, ok := avail[v]; !ok {
+				return fail("guard references variable %s, which is not bound by the guarded event", v)
+			}
+		}
+	}
 	n.JoinVars = joinVars(n)
 	n.key = canonicalKey(n)
 	return nil
+}
+
+// availableVars collects the variables a guard on n may reference: every
+// variable bound by a positive primitive in n's subtree (variables under
+// SEQ+ appear as lists and aggregate; variables under NOT never bind and
+// are excluded).
+func availableVars(n *Node, set map[string]struct{}) {
+	if n.Kind == KindNot {
+		return
+	}
+	if n.Kind == KindPrim {
+		for _, v := range n.Prim.Vars() {
+			set[v] = struct{}{}
+		}
+	}
+	for _, c := range n.Children {
+		availableVars(c, set)
+	}
 }
 
 // scalarVars returns the variables bound as scalars in n's subtree;
@@ -339,6 +388,12 @@ func canonicalKey(n *Node) string {
 	}
 	if n.HasWithin {
 		cons += fmt.Sprintf("|W%d", n.Within)
+	}
+	if n.HasNotWin {
+		cons += fmt.Sprintf("|N%d", n.NotWin)
+	}
+	if n.Guard != nil {
+		cons += "|G{" + n.Guard.String() + "}"
 	}
 	switch n.Kind {
 	case KindPrim:
@@ -464,6 +519,23 @@ func (b *Builder) assignHistory() {
 			}
 		}
 	}
+	// An infield scoped NOT under an unbounded SEQ answers [begin−w,
+	// begin−1] queries for terminators arbitrarily far in the future, so
+	// its child's history cannot be age-pruned: Retention 0 with
+	// NeedsHistory keeps entries until the MaxHistory cap. This pass runs
+	// last so a bounded sibling protocol cannot re-shrink the horizon.
+	for _, n := range b.g.Nodes {
+		if n.Kind != KindNot || !n.HasNotWin {
+			continue
+		}
+		for _, p := range n.Parents {
+			if p.Kind == KindSeq && p.NotChild == 0 && p.Left() == n {
+				if _, ok := p.Bound(); !ok {
+					n.Child().Retention = 0
+				}
+			}
+		}
+	}
 }
 
 // lookback estimates how far back queries routed through n can reach:
@@ -474,6 +546,11 @@ func (b *Builder) lookback(n *Node) time.Duration {
 	var need time.Duration
 	if bnd, ok := n.Bound(); ok {
 		need = 2 * bnd
+	}
+	if n.HasNotWin && 2*n.NotWin > need {
+		// Scoped negation queries a NotWin-wide window anchored at the
+		// positive payload, independent of any parent bound.
+		need = 2 * n.NotWin
 	}
 	var above time.Duration
 	for _, p := range n.Parents {

@@ -129,6 +129,19 @@ type Node struct {
 	Lo, Hi  time.Duration
 	HasDist bool
 
+	// NotWin is the scoped negation window for KindNot nodes
+	// (NOT E WITHIN w); valid iff HasNotWin. A scoped NOT asserts
+	// absence over a NotWin-wide window anchored at the adjacent
+	// positive constituent, independent of any WITHIN on the parent.
+	NotWin    time.Duration
+	HasNotWin bool
+
+	// Guard is the conjunction of WHERE predicates attached to this
+	// node's expression: a value-level filter over the instance
+	// bindings (inequalities, arithmetic, aggregates over SEQ+ runs).
+	// Nil when unguarded. Guards filter; they never bind.
+	Guard event.GExpr
+
 	// Mode is the detection mode assigned bottom-up (paper §4.4).
 	Mode Mode
 

@@ -160,6 +160,8 @@ func build(expr event.Expr) (*node, error) {
 		return n, nil
 	case *event.Not:
 		return nil, errNegation
+	case *event.Guarded:
+		return nil, errors.New("value guards (WHERE) require the graph engine; traditional ECA matches on event types only")
 	}
 	return nil, fmt.Errorf("unsupported expression %T", expr)
 }

@@ -1,0 +1,239 @@
+package rules
+
+import (
+	"strconv"
+	"strings"
+
+	"rcep/internal/core/event"
+	"rcep/internal/lex"
+)
+
+// Guard expression grammar (the WHERE clause of an event expression):
+//
+//	guard := gor
+//	gor   := gand (OR gand)*
+//	gand  := gcmp (AND gcmp)*
+//	gcmp  := gadd ((= | != | <> | < | <= | > | >=) gadd)?
+//	gadd  := gmul ((+ | -) gmul)*
+//	gmul  := gunary ((* | /) gunary)*
+//	gunary:= NOT gunary | - gunary | gprim
+//	gprim := '(' gor ')' | number [unit] | string
+//	       | (COUNT|SUM|AVG|MIN|MAX) '(' ident ')' | ident
+//
+// A number followed by a recognized duration unit is a duration literal
+// and evaluates to seconds (float), so `t2 - t1 < 30sec` works against
+// timestamp bindings.
+
+// guardReserved are keywords that may not be used as guard variables;
+// hitting one as an operand means the guard expression ended early or the
+// script is malformed, and a direct error beats a confusing downstream one.
+var guardReserved = map[string]bool{
+	"if": true, "do": true, "on": true, "where": true, "within": true,
+	"create": true, "define": true, "rule": true, "and": true, "or": true,
+	"not": true,
+}
+
+func (p *parser) parseGuard() (event.GExpr, error) { return p.parseGuardOr() }
+
+func (p *parser) parseGuardOr() (event.GExpr, error) {
+	l, err := p.parseGuardAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.AcceptKeyword("or") {
+		r, err := p.parseGuardAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &event.GBin{Op: event.GuardOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseGuardAnd() (event.GExpr, error) {
+	l, err := p.parseGuardCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.AcceptKeyword("and") {
+		r, err := p.parseGuardCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &event.GBin{Op: event.GuardAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseGuardCmp() (event.GExpr, error) {
+	l, err := p.parseGuardAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op event.GuardOp
+	t := p.s.Peek()
+	switch {
+	case t.Is("="):
+		op = event.GuardEq
+	case t.Is("!="), t.Is("<>"):
+		op = event.GuardNe
+	case t.Is("<"):
+		op = event.GuardLt
+	case t.Is("<="):
+		op = event.GuardLe
+	case t.Is(">"):
+		op = event.GuardGt
+	case t.Is(">="):
+		op = event.GuardGe
+	default:
+		return l, nil
+	}
+	p.s.Next()
+	r, err := p.parseGuardAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &event.GBin{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseGuardAdd() (event.GExpr, error) {
+	l, err := p.parseGuardMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op event.GuardOp
+		switch {
+		case p.s.Peek().Is("+"):
+			op = event.GuardAdd
+		case p.s.Peek().Is("-"):
+			op = event.GuardSub
+		default:
+			return l, nil
+		}
+		p.s.Next()
+		r, err := p.parseGuardMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &event.GBin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseGuardMul() (event.GExpr, error) {
+	l, err := p.parseGuardUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op event.GuardOp
+		switch {
+		case p.s.Peek().Is("*"):
+			op = event.GuardMul
+		case p.s.Peek().Is("/"):
+			op = event.GuardDiv
+		default:
+			return l, nil
+		}
+		p.s.Next()
+		r, err := p.parseGuardUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &event.GBin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseGuardUnary() (event.GExpr, error) {
+	t := p.s.Peek()
+	switch {
+	case t.IsKeyword("not") || t.Is("!") || t.Is("¬"):
+		p.s.Next()
+		x, err := p.parseGuardUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &event.GNot{X: x}, nil
+	case t.Is("-"):
+		p.s.Next()
+		x, err := p.parseGuardUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold unary minus into numeric literals so printing round-trips
+		// ("-5" parses and prints as the literal -5).
+		if lit, ok := x.(*event.GLit); ok {
+			switch lit.V.Kind() {
+			case event.KindInt:
+				return &event.GLit{V: event.IntValue(-lit.V.Int())}, nil
+			case event.KindFloat:
+				return &event.GLit{V: event.FloatValue(-lit.V.Float())}, nil
+			}
+		}
+		return &event.GNeg{X: x}, nil
+	}
+	return p.parseGuardPrim()
+}
+
+func (p *parser) parseGuardPrim() (event.GExpr, error) {
+	t := p.s.Peek()
+	switch t.Kind {
+	case lex.Number:
+		p.s.Next()
+		// A trailing recognized unit makes this a duration literal in
+		// seconds; otherwise the number stands alone.
+		if u := p.s.Peek(); u.Kind == lex.Ident && !guardReserved[strings.ToLower(u.Text)] {
+			if d, err := event.ParseDuration(t.Text + u.Text); err == nil {
+				p.s.Next()
+				return &event.GLit{V: event.FloatValue(d.Seconds())}, nil
+			}
+		}
+		v := event.ParseScalar(t.Text)
+		switch v.Kind() {
+		case event.KindInt, event.KindFloat:
+			return &event.GLit{V: v}, nil
+		}
+		// The lexer's Number set is wider than ParseScalar's; fall back
+		// to an exact float parse before giving up.
+		if f, err := strconv.ParseFloat(t.Text, 64); err == nil {
+			return &event.GLit{V: event.FloatValue(f)}, nil
+		}
+		return nil, lex.Errorf(t, "malformed number %s in guard", t.Text)
+	case lex.String:
+		p.s.Next()
+		return &event.GLit{V: event.StringValue(t.Text)}, nil
+	case lex.Ident:
+		if guardReserved[strings.ToLower(t.Text)] {
+			return nil, lex.Errorf(t, "expected a guard operand, found %s", t.Text)
+		}
+		p.s.Next()
+		if p.s.Peek().Is("(") {
+			op, ok := event.AggOpNamed(t.Text)
+			if !ok {
+				return nil, lex.Errorf(t, "unknown guard function %s (want COUNT, SUM, AVG, MIN or MAX)", t.Text)
+			}
+			p.s.Next()
+			arg, err := p.s.ExpectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.s.Expect(")"); err != nil {
+				return nil, err
+			}
+			return &event.GAgg{Op: op, Name: arg.Text}, nil
+		}
+		return &event.GVar{Name: t.Text}, nil
+	}
+	if t.Is("(") {
+		p.s.Next()
+		g, err := p.parseGuardOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.s.Expect(")"); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	return nil, lex.Errorf(t, "expected a guard operand, found %s", t)
+}

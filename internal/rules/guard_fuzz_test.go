@@ -1,0 +1,38 @@
+package rules
+
+import "testing"
+
+// FuzzParseRule pins the printer/parser contract on arbitrary input:
+// whatever parses must format to text that reparses, and formatting is a
+// fixed point — Format(Parse(Format(x))) == Format(x). The seeds cover
+// the guarded-rule constructs (inequality predicates, aggregates over
+// closure runs, window-scoped negation) alongside the original grammar.
+func FuzzParseRule(f *testing.F) {
+	seeds := append([]string{}, seedScripts...)
+	seeds = append(seeds,
+		`CREATE RULE g, n ON SEQ(observation('s', v1, t1) ; observation('s', v2, t2)) WHERE v2 > v1 + 5 IF true DO p(v1, v2)`,
+		`CREATE RULE g, n ON WITHIN(TSEQ+(observation('s', v, t), 1sec, 10sec), 60sec) WHERE MAX(v) > 8 AND COUNT(v) >= 3 IF true DO INSERT INTO T VALUES (COUNT(v), AVG(v), MAX(v))`,
+		`CREATE RULE g, n ON SEQ(observation('ck', b, t1) ; NOT observation('ld', b, t2) WITHIN 5min) IF true DO alarm(b)`,
+		`CREATE RULE g, n ON SEQ(NOT observation('ck', b, _) WITHIN 10min ; observation('ld', b, t)) IF true DO alarm(b)`,
+		`CREATE RULE g, n ON ALL(observation('a', x, t1), NOT observation('b', x, t2) WITHIN 30sec) IF true DO p(x)`,
+		`CREATE RULE g, n ON observation(r, o, t) WHERE o > 100 OR (o < 5 AND NOT o = 3) IF true DO p(o)`,
+		`CREATE RULE g, n ON SEQ+(observation('s', v, t)) WHERE SUM(v) >= 10 AND MIN(v) != 0 IF true DO p(t)`,
+	)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rs, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		out := Format(rs)
+		rs2, err := ParseScript(out)
+		if err != nil {
+			t.Fatalf("formatted text does not reparse: %v\n text: %s", err, out)
+		}
+		if out2 := Format(rs2); out != out2 {
+			t.Fatalf("Format is not a fixed point:\n1: %s\n2: %s", out, out2)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuardRoundTrip(t *testing.T) {
+	srcs := []string{
+		`CREATE RULE g1 ON SEQ(observation('s', v1, t1) ; observation('s', v2, t2)) WHERE v2 > v1 + 5 IF TRUE DO p(v1, v2)`,
+		`CREATE RULE g2 ON WITHIN(TSEQ+(observation('s', v, t), 1sec, 10sec), 60sec) WHERE MAX(v) > 8 AND COUNT(v) >= 3 IF TRUE DO p(t)`,
+		`CREATE RULE g3 ON SEQ(observation('ck', b, t1) ; NOT observation('ld', b, t2) WITHIN 5min) IF TRUE DO alarm(b)`,
+		`CREATE RULE g4 ON SEQ(NOT observation('ck', b, _) WITHIN 10min ; observation('ld', b, t)) IF TRUE DO alarm(b)`,
+		`CREATE RULE g5 ON observation(r, o, t) WHERE o > 100 OR (o < 5 AND NOT o = 3) IF TRUE DO p(o)`,
+		`CREATE RULE g6 ON ALL(observation('a', x, t1), NOT observation('b', x, t2) WITHIN 30sec) IF TRUE DO p(x)`,
+		`CREATE RULE g7 ON observation(r, o, t) WHERE t - 0 < 30sec IF TRUE DO p(o)`,
+		`CREATE RULE g8 ON SEQ+(observation('s', v, t)) WHERE SUM(v) >= 10 IF TRUE DO p(t)`,
+	}
+	for _, src := range srcs {
+		rs, err := ParseScript(src)
+		if err != nil {
+			t.Errorf("PARSE ERR: %v", err)
+			continue
+		}
+		out := Format(rs)
+		rs2, err := ParseScript(out)
+		if err != nil {
+			t.Errorf("REPARSE ERR: %v\n  text: %s", err, out)
+			continue
+		}
+		if out2 := Format(rs2); out != out2 {
+			t.Errorf("NOT FIXED POINT:\n1: %s\n2: %s", out, out2)
+			continue
+		}
+		t.Logf("OK %s", out)
+	}
+}
+
+func TestGuardParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`CREATE RULE e1 ON SEQ(observation('a', b, t1) ; NOT observation('b', b, t2) WITHIN 0sec) IF true DO p(b)`,
+			"negation window must be positive"},
+		{`CREATE RULE e2 ON observation(r, o, t) WHERE foo(o) > 1 IF true DO p(o)`,
+			"unknown guard function"},
+		{`CREATE RULE e3 ON observation(r, o, t) WHERE where > 1 IF true DO p(o)`,
+			"expected a guard operand"},
+		{`CREATE RULE e4 ON observation(r, o, t) WHERE o > IF true DO p(o)`,
+			"expected a guard operand"},
+	}
+	for _, c := range cases {
+		_, err := ParseScript(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}

@@ -249,12 +249,48 @@ func (p *parser) parseNot() (event.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &event.Not{X: x}, nil
+		n := &event.Not{X: x}
+		// Postfix window: `NOT E WITHIN w` scopes the negation to its own
+		// window anchored at the adjacent positive constituent. There is
+		// no clash with the prefix form — WITHIN(E, w) is always followed
+		// by '(', the postfix window always by a number.
+		if p.s.Peek().IsKeyword("within") && p.s.PeekAt(1).Kind == lex.Number {
+			wt := p.s.Next()
+			d, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			if d <= 0 {
+				return nil, lex.Errorf(wt, "negation window must be positive")
+			}
+			n.Win = d
+		}
+		return n, nil
 	}
 	return p.parsePrimaryEvent()
 }
 
+// parsePrimaryEvent parses a base event expression followed by any number
+// of `WHERE <guard>` suffixes. A guard binds to the tightest preceding
+// event; it greedily consumes AND/OR, so a guarded constituent inside a
+// conjunction needs parentheses: (a WHERE x > 1) AND b.
 func (p *parser) parsePrimaryEvent() (event.Expr, error) {
+	e, err := p.parseBasePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.s.Peek().IsKeyword("where") {
+		p.s.Next()
+		g, err := p.parseGuard()
+		if err != nil {
+			return nil, err
+		}
+		e = &event.Guarded{X: e, Cond: g}
+	}
+	return e, nil
+}
+
+func (p *parser) parseBasePrimary() (event.Expr, error) {
 	t := p.s.Peek()
 	switch {
 	case t.Is("("):

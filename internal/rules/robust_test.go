@@ -14,6 +14,9 @@ var seedScripts = []string{
 	paperRules,
 	`DEFINE E = observation('r', o, t) CREATE RULE x, n ON E IF true DO f(o)`,
 	`CREATE RULE q, n ON WITHIN(ALL(observation(a,b,c), observation(d,e,f)), 5sec) IF x > 1 AND EXISTS (SELECT * FROM T WHERE k = b) DO INSERT INTO T VALUES (b)`,
+	`CREATE RULE w, n ON SEQ(observation('s', v1, t1) ; observation('s', v2, t2)) WHERE v2 > v1 + 5 IF true DO p(v1, v2)`,
+	`CREATE RULE x, n ON WITHIN(TSEQ+(observation('s', v, t), 1sec, 10sec), 60sec) WHERE MAX(v) > 8 AND COUNT(v) >= 3 IF true DO INSERT INTO T VALUES (COUNT(v), MAX(v))`,
+	`CREATE RULE y, n ON SEQ(observation('ck', b, t1) ; NOT observation('ld', b, t2) WITHIN 5min) IF true DO p(b)`,
 }
 
 func TestParserNeverPanics(t *testing.T) {

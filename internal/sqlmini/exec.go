@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -474,7 +475,19 @@ func likeRec(s, p []rune) bool {
 
 func (e *env) evalScalarCall(c *Call) (event.Value, error) {
 	if c.isAggregate() {
-		return event.Null, fmt.Errorf("sqlmini: aggregate %s outside SELECT projection", c.Name)
+		if e.schema != nil {
+			// Row contexts (table WHERE scans, UPDATE/DELETE) aggregate
+			// only through the SELECT projection path.
+			return event.Null, fmt.Errorf("sqlmini: aggregate %s outside SELECT projection", c.Name)
+		}
+		if err := checkScalarAggregate(c); err != nil {
+			return event.Null, err
+		}
+		v, err := e.eval(c.Args[0])
+		if err != nil {
+			return event.Null, err
+		}
+		return foldScalarAggregate(c.Name, v)
 	}
 	var args []event.Value
 	for _, a := range c.Args {
@@ -485,6 +498,43 @@ func (e *env) evalScalarCall(c *Call) (event.Value, error) {
 		args = append(args, v)
 	}
 	return e.applyScalar(c.Name, args)
+}
+
+// checkScalarAggregate validates an aggregate call used as a scalar —
+// outside a SELECT projection, in rule conditions and actions, where the
+// argument is a list binding collected from a SEQ+ run.
+func checkScalarAggregate(c *Call) error {
+	if c.Star {
+		return fmt.Errorf("sqlmini: %s(*) is only valid in a SELECT projection", c.Name)
+	}
+	if len(c.Args) != 1 {
+		return fmt.Errorf("sqlmini: %s needs exactly one argument", c.Name)
+	}
+	return nil
+}
+
+// foldScalarAggregate folds one already-evaluated value: a list folds
+// element-wise, a scalar is a one-element column, null an empty one. The
+// semantics (null skipping, int/float widening, comparison families) are
+// shared with SELECT aggregation via event.FoldAgg, and the error texts
+// match aggregate()'s.
+func foldScalarAggregate(name string, v event.Value) (event.Value, error) {
+	op, ok := event.AggOpNamed(name)
+	if !ok {
+		return event.Null, fmt.Errorf("sqlmini: unknown aggregate %s", name)
+	}
+	res, err := event.FoldAgg(op, v)
+	if err != nil {
+		var ae *event.AggError
+		if errors.As(err, &ae) {
+			if ae.Incomparable {
+				return event.Null, fmt.Errorf("sqlmini: %s over incomparable values", name)
+			}
+			return event.Null, fmt.Errorf("sqlmini: %s over non-numeric value %s", name, ae.BadVal)
+		}
+		return event.Null, fmt.Errorf("sqlmini: %s: %w", name, err)
+	}
+	return res, nil
 }
 
 // applyScalar dispatches a scalar call on already-evaluated arguments.
@@ -927,6 +977,12 @@ func (re *relEnv) eval(x Expr) (event.Value, error) {
 			return arith(n.Op, l, r)
 		}
 	case *Call:
+		if n.isAggregate() {
+			// Row-context aggregates (a WHERE clause, a non-aggregated
+			// projection mix) stay rejected: aggregation over a relation
+			// happens only through the dedicated SELECT projection path.
+			return event.Null, fmt.Errorf("sqlmini: aggregate %s outside SELECT projection", n.Name)
+		}
 		args := make([]Expr, len(n.Args))
 		for i, a := range n.Args {
 			v, err := re.eval(a)

@@ -96,7 +96,24 @@ func compileExpr(x Expr) evalFn {
 		return compileBinary(n)
 	case *Call:
 		if n.isAggregate() {
-			return errFn("sqlmini: aggregate %s outside SELECT projection", n.Name)
+			// Scalar aggregate: fold the single argument at run time,
+			// mirroring evalScalarCall (shape errors resolve at compile
+			// time with identical texts).
+			if err := checkScalarAggregate(n); err != nil {
+				return errFn("%s", err.Error())
+			}
+			argFn := compileExpr(n.Args[0])
+			name := n.Name
+			return func(e *env) (event.Value, error) {
+				if e.schema != nil {
+					return event.Null, fmt.Errorf("sqlmini: aggregate %s outside SELECT projection", name)
+				}
+				v, err := argFn(e)
+				if err != nil {
+					return event.Null, err
+				}
+				return foldScalarAggregate(name, v)
+			}
 		}
 		argFns := make([]evalFn, len(n.Args))
 		for i, a := range n.Args {

@@ -19,12 +19,15 @@ type facadeScenario struct {
 	groups       func(string) []string
 	typeOf       func(string) string
 	ddl          []string
+	tables       []string // scenario-specific tables to diff (beyond the audit set)
 	procNames    []string
 }
 
 func hotpathScenarios() []facadeScenario {
 	sc, script := shardScenario()
 	lib := sim.GenerateLibrary(sim.DefaultLibraryConfig())
+	cold := sim.GenerateColdChain(sim.DefaultColdChainConfig())
+	bags := sim.GenerateBaggage(sim.DefaultBaggageConfig())
 	return []facadeScenario{
 		{
 			name:         "supply-chain",
@@ -41,6 +44,23 @@ func hotpathScenarios() []facadeScenario {
 			typeOf:       lib.Registry.TypeOf,
 			ddl:          []string{sim.LibraryLoansDDL},
 			procNames:    []string{"checkout_receipt", "theft_alarm"},
+		},
+		{
+			name:         "cold-chain",
+			observations: cold.Observations,
+			script:       sim.ColdChainRules,
+			ddl:          []string{sim.ColdChainDDL},
+			tables:       []string{"EXCURSIONS"},
+			procNames:    []string{"excursion_alarm", "jump_alarm"},
+		},
+		{
+			name:         "baggage",
+			observations: bags.Observations,
+			script:       sim.BaggageRules,
+			typeOf:       bags.Registry.TypeOf,
+			ddl:          []string{sim.BaggageDDL},
+			tables:       []string{"MISHANDLED"},
+			procNames:    []string{"lost_bag", "stray_bag"},
 		},
 	}
 }
@@ -81,6 +101,15 @@ func runFacadeMode(t *testing.T, fs facadeScenario, shards int, interpreted bool
 		run.firings = append(run.firings, detectionSig(d))
 	}
 	run.tables = dumpTables(t, eng)
+	for _, tbl := range fs.tables {
+		_, rows, err := eng.Query("SELECT * FROM " + tbl)
+		if err != nil {
+			t.Fatalf("SELECT * FROM %s: %v", tbl, err)
+		}
+		for _, r := range rows {
+			run.tables = append(run.tables, fmt.Sprintf("%s|%v", tbl, r))
+		}
+	}
 	run.shards = eng.Shards()
 	if err := eng.Close(); err != nil {
 		t.Fatalf("Close(%s): %v", fs.name, err)
@@ -96,7 +125,7 @@ func TestCompiledFacadeEquivalence(t *testing.T) {
 	for _, fs := range hotpathScenarios() {
 		fs := fs
 		t.Run(fs.name, func(t *testing.T) {
-			for _, shards := range []int{0, 2, 4, 8} {
+			for _, shards := range []int{0, 1, 2, 4, 8} {
 				shards := shards
 				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 					oracle := runFacadeMode(t, fs, shards, true)
