@@ -41,7 +41,7 @@ func shardRules(script string) ([]shard.Rule, error) {
 }
 
 // runWorker serves shard engines until SIGINT/SIGTERM.
-func runWorker(addr, script, bootID string, shards int, simTypes bool) {
+func runWorker(addr, script, bootID string, shards int, simTypes bool, outboxDir string) {
 	rls, err := shardRules(script)
 	if err != nil {
 		log.Fatal(err)
@@ -49,7 +49,12 @@ func runWorker(addr, script, bootID string, shards int, simTypes bool) {
 	if bootID == "" {
 		bootID = fmt.Sprintf("pid%d-%d", os.Getpid(), time.Now().UnixNano())
 	}
-	cfg := cluster.WorkerConfig{Rules: rls, Shards: shards, BootID: bootID}
+	if outboxDir != "" {
+		if err := os.MkdirAll(outboxDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cfg := cluster.WorkerConfig{Rules: rls, Shards: shards, BootID: bootID, OutboxDir: outboxDir}
 	if simTypes {
 		cfg.TypeOf = sim.NewRegistry().TypeOf
 	}
@@ -75,9 +80,24 @@ func runWorker(addr, script, bootID string, shards int, simTypes bool) {
 	log.Printf("rcepd worker stopped")
 }
 
+// coordOpts carries the degraded-mode coordinator flags: lease-based
+// fencing/failover, the published self-checkpoint a standby adopts, and
+// the partition grace that keeps a flaky worker's shard detached instead
+// of re-placing it.
+type coordOpts struct {
+	leasePath      string
+	leaseHolder    string
+	leaseTTL       time.Duration
+	checkpointPath string
+	partitionGrace time.Duration
+	standby        bool
+}
+
 // runCoordinator streams observation CSV (stdin or -input) through a
-// worker fleet and prints merged detections.
-func runCoordinator(script, workerList, input string, shards int, simTypes bool) {
+// worker fleet and prints merged detections. With -standby it first
+// waits for the active coordinator's lease to lapse, adopts the
+// published checkpoint, and resumes the stream from the restored offset.
+func runCoordinator(script, workerList, input string, shards int, simTypes bool, opt coordOpts) {
 	rls, err := shardRules(script)
 	if err != nil {
 		log.Fatal(err)
@@ -96,12 +116,38 @@ func runCoordinator(script, workerList, input string, shards int, simTypes bool)
 		OnDetect: func(rid int, inst *event.Instance) {
 			fmt.Printf("FIRE r%-3d [%v .. %v] %v\n", rid, inst.Begin, inst.End, inst.Binds)
 		},
+		LeasePath:      opt.leasePath,
+		LeaseHolder:    opt.leaseHolder,
+		LeaseTTL:       opt.leaseTTL,
+		CheckpointPath: opt.checkpointPath,
+		PartitionGrace: opt.partitionGrace,
+		OnDetach: func(s, w int, cause error) {
+			log.Printf("shard %d detached from worker %d (journaling until reattach or grace expiry): %v", s, w, cause)
+		},
+		OnHandoff: func(s, from, to int, cause error) {
+			log.Printf("shard %d handed off worker %d -> %d: %v", s, from, to, cause)
+		},
 	}
 	if simTypes {
 		cfg.TypeOf = sim.NewRegistry().TypeOf
 	}
-	coord, err := cluster.New(cfg)
-	if err != nil {
+	var coord *cluster.Coordinator
+	if opt.standby {
+		sb, err := cluster.NewStandby(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rcepd standby: watching lease %s (ttl %s)", opt.leasePath, opt.leaseTTL)
+		for coord == nil {
+			if coord, err = sb.TryTakeover(); err != nil {
+				log.Fatal(err)
+			}
+			if coord == nil {
+				time.Sleep(opt.leaseTTL / 4)
+			}
+		}
+		log.Printf("rcepd standby: took over at observation %d (%d delivered)", coord.Ingested(), coord.Delivered())
+	} else if coord, err = cluster.New(cfg); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("rcepd coordinator: %d rules in %d shard(s) across %d worker(s), placement %v",
@@ -117,7 +163,16 @@ func runCoordinator(script, workerList, input string, shards int, simTypes bool)
 		defer f.Close()
 		in = f
 	}
-	n, err := stream.ReadCSV(in, coord.Ingest)
+	// After a takeover the checkpoint already covers a stream prefix:
+	// skip past it so the successor ingests exactly the remainder.
+	skip := coord.Ingested()
+	var seen uint64
+	n, err := stream.ReadCSV(in, func(o event.Observation) error {
+		if seen++; seen <= skip {
+			return nil
+		}
+		return coord.Ingest(o)
+	})
 	if err != nil {
 		coord.Abort()
 		log.Fatal(err)
@@ -125,5 +180,5 @@ func runCoordinator(script, workerList, input string, shards int, simTypes bool)
 	if err := coord.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("fed %d observations, %d handoff(s)", n, coord.Handoffs())
+	log.Printf("fed %d observations, %d handoff(s), %d detach(es)", n, coord.Handoffs(), coord.Detaches())
 }

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	rcepd -rules rules.rcep [-addr :7411] [-simtypes] [-snapshot store.json]
-//	rcepd -role worker -rules rules.rcep -addr :7412 [-boot-id edge-a]
+//	rcepd -role worker -rules rules.rcep -addr :7412 [-boot-id edge-a] [-outbox-dir dir]
 //	rcepd -role coordinator -rules rules.rcep -cluster-workers :7412,:7413 [-input obs.csv]
+//	rcepd -role coordinator -standby -lease coord.lease -coord-checkpoint coord.ckpt ...
 //
 // With -snapshot, the data store is restored from the file at startup and
 // saved back on SIGINT/SIGTERM. On shutdown the server first stops
@@ -31,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"rcep"
 	"rcep/internal/sim"
@@ -61,6 +63,15 @@ func main() {
 		clusterWs = flag.String("cluster-workers", "", "comma-separated worker addresses (coordinator role)")
 		bootID    = flag.String("boot-id", "", "worker incarnation ID; must differ across restarts (worker role; default pid+start time)")
 		input     = flag.String("input", "-", "observation CSV, - for stdin (coordinator role)")
+		admit     = flag.Int("admit", 0, "bounded admission queue capacity between connections and the engine (0 = direct)")
+		admitShed = flag.Bool("admit-shed", false, "shed the oldest queued observation when the admission queue is full, instead of backpressuring (needs -admit)")
+		outboxDir = flag.String("outbox-dir", "", "WAL directory for per-shard detection outboxes (worker role)")
+		leasePath = flag.String("lease", "", "coordinator lease file on shared storage; enables fail-stop fencing and standby failover (coordinator role)")
+		leaseHold = flag.String("lease-holder", "", "name this coordinator writes into the lease (default coord-<pid>)")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "lease renewal validity; a standby takes over this long after the last renewal")
+		coordCkpt = flag.String("coord-checkpoint", "", "published self-checkpoint path a warm standby adopts at takeover (coordinator role)")
+		partGrace = flag.Duration("partition-grace", 0, "keep a partitioned worker's shard detached (journaling, not re-placed) for this long before handing it off (0 = re-place immediately)")
+		standby   = flag.Bool("standby", false, "run the coordinator as a warm standby: wait for the active's lease to lapse, then adopt -coord-checkpoint")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -74,13 +85,19 @@ func main() {
 	switch *role {
 	case "server":
 	case "worker":
-		runWorker(*addr, string(script), *bootID, *shards, *simTypes)
+		runWorker(*addr, string(script), *bootID, *shards, *simTypes, *outboxDir)
 		return
 	case "coordinator":
 		if *clusterWs == "" {
 			log.Fatal("-role coordinator needs -cluster-workers")
 		}
-		runCoordinator(string(script), *clusterWs, *input, *shards, *simTypes)
+		if *standby && (*leasePath == "" || *coordCkpt == "") {
+			log.Fatal("-standby needs -lease and -coord-checkpoint")
+		}
+		runCoordinator(string(script), *clusterWs, *input, *shards, *simTypes, coordOpts{
+			leasePath: *leasePath, leaseHolder: *leaseHold, leaseTTL: *leaseTTL,
+			checkpointPath: *coordCkpt, partitionGrace: *partGrace, standby: *standby,
+		})
 		return
 	default:
 		log.Fatalf("unknown -role %q (server, worker, or coordinator)", *role)
@@ -124,6 +141,9 @@ func main() {
 	if *peerTO > 0 {
 		opts = append(opts, wire.WithPeerTimeout(*peerTO))
 	}
+	if *admit > 0 {
+		opts = append(opts, wire.WithAdmission(*admit, *admitShed))
+	}
 	srv, err := wire.NewServer(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
@@ -165,6 +185,9 @@ func main() {
 	// and sequence state include everything the feeders were told is
 	// safely applied.
 	srv.Shutdown()
+	if *admit > 0 {
+		log.Printf("admission queue shed %d observation(s) lifetime (query live counts with a \"status\" frame)", srv.Shed())
+	}
 	if *snapshot != "" {
 		if err := saveSnapshot(srv, *snapshot); err != nil {
 			log.Printf("snapshot save failed: %v", err)

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 
 	"rcep/internal/core/event"
 )
@@ -30,6 +32,24 @@ type checkpoint struct {
 	DetSeq    []uint64          `json:"det_seq"`
 	DetHigh   []uint64          `json:"det_high"`
 	Pending   []ckPending       `json:"pending,omitempty"`
+
+	// Journals carries each shard's journal suffix past what its engine
+	// checkpoint covers, with Jbase its absolute stream offset (0 means
+	// the suffix reaches stream start, preserving the full-replay
+	// fallback). At a quiesced SaveCheckpoint barrier the suffixes are
+	// empty, but a checkpoint published while a shard is detached — its
+	// engine checkpoint frozen at the partition's onset — needs them: a
+	// standby adopting the checkpoint replays the suffix into the
+	// replacement placement, so mid-partition failover loses nothing.
+	Journals [][]ckJentry `json:"journals,omitempty"`
+	Jbase    []int        `json:"jbase,omitempty"`
+}
+
+type ckJentry struct {
+	Adv    bool       `json:"adv,omitempty"`
+	Reader string     `json:"reader,omitempty"`
+	Object string     `json:"object,omitempty"`
+	At     event.Time `json:"at"`
 }
 
 type ckPending struct {
@@ -55,6 +75,13 @@ func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 	if err := c.barrierLocked(false, false, true); err != nil {
 		return err
 	}
+	return c.writeCheckpointLocked(w)
+}
+
+// writeCheckpointLocked serializes the coordinator's current state. The
+// caller has run whatever barrier semantics it wanted; detached shards
+// simply contribute a longer journal suffix.
+func (c *Coordinator) writeCheckpointLocked(w io.Writer) error {
 	n := c.part.NumShards()
 	ck := checkpoint{
 		Format:    checkpointFormat,
@@ -68,6 +95,8 @@ func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 		Sums:      make([]uint32, n),
 		DetSeq:    append([]uint64(nil), c.ckDetSeq...),
 		DetHigh:   append([]uint64(nil), c.detHigh...),
+		Journals:  make([][]ckJentry, n),
+		Jbase:     make([]int, n),
 	}
 	for s := 0; s < n; s++ {
 		ids := make([]int, 0, len(c.part.ByShard[s]))
@@ -77,6 +106,16 @@ func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 		ck.Rules[s] = ids
 		ck.Engines[s] = c.lastCk[s]
 		ck.Sums[s] = c.ckSum[s]
+		start := c.ckStart[s]
+		if len(c.lastCk[s]) == 0 {
+			start = 0 // no engine checkpoint: the suffix is the whole journal
+		}
+		suffix := make([]ckJentry, 0, len(c.journal[s])-start)
+		for _, j := range c.journal[s][start:] {
+			suffix = append(suffix, ckJentry{Adv: j.adv, Reader: j.reader, Object: j.object, At: j.at})
+		}
+		ck.Journals[s] = suffix
+		ck.Jbase[s] = c.jbase[s] + start
 	}
 	for _, d := range c.pending {
 		ck.Pending = append(ck.Pending, ckPending{
@@ -85,6 +124,24 @@ func (c *Coordinator) SaveCheckpoint(w io.Writer) error {
 		})
 	}
 	return json.NewEncoder(w).Encode(&ck)
+}
+
+// publishCheckpointLocked writes the self-checkpoint to CheckpointPath
+// via atomic tmp+rename, so a standby tailing the file always reads a
+// complete record — never a torn one.
+func (c *Coordinator) publishCheckpointLocked() error {
+	var buf bytes.Buffer
+	if err := c.writeCheckpointLocked(&buf); err != nil {
+		return fmt.Errorf("cluster: publish checkpoint: %w", err)
+	}
+	tmp := c.cfg.CheckpointPath + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("cluster: publish checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("cluster: publish checkpoint: %w", err)
+	}
+	return nil
 }
 
 // restore loads a cluster/v1 checkpoint into a freshly constructed
@@ -123,12 +180,21 @@ func (c *Coordinator) restore(r io.Reader) error {
 			return fmt.Errorf("cluster: restore: shard %d engine checkpoint fails its checksum (corrupt)", s)
 		}
 	}
+	if len(ck.Journals) > 0 || len(ck.Jbase) > 0 {
+		if len(ck.Journals) != n || len(ck.Jbase) != n {
+			return fmt.Errorf("cluster: restore: truncated checkpoint: %d journal suffixes, %d bases for %d shards",
+				len(ck.Journals), len(ck.Jbase), n)
+		}
+	}
 	// Bump the coordinator generation past the incarnation that wrote
 	// the checkpoint. The generation is part of every link's wire
 	// ClientID: without it a restarted coordinator would reuse its
 	// predecessor's identities, and a worker that survived the restart
 	// would mistake the fresh frames for stale replays — re-acking them
 	// unapplied and answering barriers from its cached-reply window.
+	// The random instance token in the ClientID already rules that out;
+	// the bump keeps generations monotonic for operators reading logs
+	// and checkpoints.
 	c.gen = ck.Gen + 1
 	c.now = ck.Now
 	c.ingested = ck.Ingested
@@ -138,9 +204,22 @@ func (c *Coordinator) restore(r io.Reader) error {
 		c.ckSum[s] = ck.Sums[s]
 		c.ckDetSeq[s] = ck.DetSeq[s]
 		c.detHigh[s] = ck.DetHigh[s]
-		// The checkpoint was taken at a quiesced barrier: the journal
-		// suffix past it is empty, but it no longer reaches stream start.
-		c.jbase[s] = 1
+		if len(ck.Journals) == n {
+			// The checkpoint carried a journal suffix (non-empty when it
+			// was published while a shard was detached): the initial
+			// placement replays it on top of the engine checkpoint.
+			js := make([]jentry, 0, len(ck.Journals[s]))
+			for _, j := range ck.Journals[s] {
+				js = append(js, jentry{adv: j.Adv, reader: j.Reader, object: j.Object, at: j.At})
+			}
+			c.journal[s] = js
+			c.jbase[s] = ck.Jbase[s]
+		} else {
+			// Legacy checkpoint taken at a quiesced barrier: the journal
+			// suffix past it is empty, but it no longer reaches stream
+			// start.
+			c.jbase[s] = 1
+		}
 	}
 	for _, p := range ck.Pending {
 		c.pending = append(c.pending, cdet{

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -88,6 +90,41 @@ type Config struct {
 	// the coordinator lock held — it must not call back into the
 	// coordinator.
 	OnHandoff func(shardID, fromWorker, toWorker int, cause error)
+
+	// PartitionGrace, when > 0, switches the first barrier failure on an
+	// established placement from immediate re-placement to detached
+	// mode: the coordinator keeps journaling and feeding the link's
+	// replay ring without blocking on it, holds back delivery of
+	// fire-time groups the detached shard has not confirmed (the
+	// frontier clamp), and probes for reattachment at later barriers.
+	// Only after the grace expires — or the ring fills — is the shard
+	// re-placed from checkpoint + journal. Zero keeps the eager
+	// re-placement behavior.
+	PartitionGrace time.Duration
+
+	// OnDetach observes a shard entering detached mode (diagnostics).
+	// Called with the coordinator lock held, like OnHandoff.
+	OnDetach func(shardID, worker int, cause error)
+
+	// LeasePath, when set, names a lease file this coordinator must hold
+	// to operate: New acquires it (bumping the lease term, which fences
+	// any previous holder), every barrier renews it, and a failed
+	// renewal — another holder took the term — fail-stops the
+	// coordinator with ErrLeaseLost before it can issue another barrier.
+	// LeaseHolder names this process in the file; LeaseTTL is how long
+	// each renewal is valid (default 10s).
+	LeasePath   string
+	LeaseHolder string
+	LeaseTTL    time.Duration
+
+	// CheckpointPath, when set, publishes a cluster/v1 self-checkpoint
+	// (atomic tmp+rename) after every checkpoint-cadence barrier — the
+	// state a warm standby adopts at takeover.
+	CheckpointPath string
+
+	// Clock overrides the wall clock for the partition grace timer and
+	// the lease (tests inject it). Defaults to time.Now.
+	Clock func() time.Time
 }
 
 // jentry is one journaled routing decision: an observation fanned to a
@@ -114,6 +151,8 @@ type link struct {
 	client               *wire.ReliableClient
 	box                  *mailbox
 	assignSeq            uint64
+	cap                  int  // ring capacity the client was dialed with
+	synced               bool // at least one barrier completed on this placement
 }
 
 // mailbox collects worker replies off the link's read goroutine. It has
@@ -162,9 +201,38 @@ type Coordinator struct {
 	ingested  uint64
 	delivered uint64
 	gen       uint64 // coordinator incarnation, bumped at each checkpoint restore
+	inst      string // random per-incarnation token in every link's ClientID
 	handoffs  int
 	closed    bool
 	err       error
+
+	// Detached-shard (degraded) mode, active only with PartitionGrace.
+	detached    []bool
+	detachedAt  []time.Time
+	detachCause []error
+	forceRepl   []bool       // ring filled while detached: re-place at the next barrier
+	probeAck    []uint64     // link ack high-water at the last failed probe
+	frontier    []event.Time // per-shard clock through which detections are confirmed complete
+	detaches    int
+
+	lease *lease
+}
+
+// instanceID mints the random token that makes this coordinator
+// incarnation's wire ClientIDs unique. Workers key feed state — and the
+// reliable layer's dedupe-by-sequence high-water — by ClientID, so two
+// incarnations must never share one: a cold-started coordinator reusing
+// a live worker's previous identity would have every frame (assign,
+// observations, barriers) silently re-acked as stale replay and
+// dropped. The generation bump on checkpoint restore covers restarts
+// that go through a checkpoint; the nonce covers the rest (cold starts
+// against long-running workers, which all share gen 0).
+func instanceID(clock func() time.Time) string {
+	var b [5]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%x", clock().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // New validates the configuration, computes the partition, optionally
@@ -201,33 +269,59 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.OnDetect == nil {
 		cfg.OnDetect = func(int, *event.Instance) {}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
 	part := shard.NewPartition(cfg.Rules, cfg.Shards, cfg.Groups)
 	n := part.NumShards()
 	c := &Coordinator{
-		cfg:      cfg,
-		part:     part,
-		router:   shard.NewRouter(part, cfg.Groups),
-		links:    make([]*link, n),
-		epoch:    make([]int, n),
-		down:     make([]bool, len(cfg.Workers)),
-		journal:  make([][]jentry, n),
-		jbase:    make([]int, n),
-		ckStart:  make([]int, n),
-		lastCk:   make([]json.RawMessage, n),
-		ckSum:    make([]uint32, n),
-		ckDetSeq: make([]uint64, n),
-		detHigh:  make([]uint64, n),
-		now:      event.MinTime,
+		cfg:         cfg,
+		part:        part,
+		router:      shard.NewRouter(part, cfg.Groups),
+		links:       make([]*link, n),
+		epoch:       make([]int, n),
+		down:        make([]bool, len(cfg.Workers)),
+		journal:     make([][]jentry, n),
+		jbase:       make([]int, n),
+		ckStart:     make([]int, n),
+		lastCk:      make([]json.RawMessage, n),
+		ckSum:       make([]uint32, n),
+		ckDetSeq:    make([]uint64, n),
+		detHigh:     make([]uint64, n),
+		detached:    make([]bool, n),
+		detachedAt:  make([]time.Time, n),
+		detachCause: make([]error, n),
+		forceRepl:   make([]bool, n),
+		probeAck:    make([]uint64, n),
+		frontier:    make([]event.Time, n),
+		inst:        instanceID(cfg.Clock),
+		now:         event.MinTime,
 	}
 	if cfg.Checkpoint != nil {
 		if err := c.restore(cfg.Checkpoint); err != nil {
 			return nil, err
 		}
 	}
+	for s := range c.frontier {
+		c.frontier[s] = c.now
+	}
+	if cfg.LeasePath != "" {
+		// Acquiring bumps the lease term, which fences the previous
+		// holder: its next renewal sees the foreign term and fail-stops.
+		l, err := acquireLease(cfg.LeasePath, cfg.LeaseHolder, cfg.LeaseTTL, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		c.lease = l
+	}
 	placement := placeShards(part, len(cfg.Workers))
 	for s := 0; s < n; s++ {
 		if err := c.startLinkLocked(s, placement[s], len(c.lastCk[s]) > 0); err != nil {
 			c.abortLocked()
+			c.releaseLeaseLocked()
 			return nil, err
 		}
 	}
@@ -325,7 +419,7 @@ func (c *Coordinator) startLinkLocked(s, wkr int, useCk bool) error {
 	// coordinator before the barrier timeout could trigger a handoff.
 	buffer := len(replay) + 2*c.cfg.SyncEvery + 64
 	client, err := wire.DialReliable(addr, wire.ReliableOptions{
-		ClientID:     fmt.Sprintf("coord.g%d.s%d.e%d", c.gen, s, c.epoch[s]),
+		ClientID:     fmt.Sprintf("coord.%s.g%d.s%d.e%d", c.inst, c.gen, s, c.epoch[s]),
 		Dial:         dial,
 		Buffer:       buffer,
 		Backoff:      10 * time.Millisecond,
@@ -338,7 +432,7 @@ func (c *Coordinator) startLinkLocked(s, wkr int, useCk bool) error {
 	if err != nil {
 		return fmt.Errorf("cluster: shard %d on %s: %w", s, addr, err)
 	}
-	lk := &link{shard: s, worker: wkr, epoch: c.epoch[s], client: client, box: box}
+	lk := &link{shard: s, worker: wkr, epoch: c.epoch[s], client: client, box: box, cap: buffer}
 	assign := wire.Message{Type: "assign", Shard: s}
 	if useCk {
 		assign.Ck, assign.Sum, assign.DetSeq = c.lastCk[s], c.ckSum[s], c.ckDetSeq[s]
@@ -411,6 +505,9 @@ func (c *Coordinator) IngestBatch(batch []event.Observation) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		if c.err != nil {
+			return c.err
+		}
 		return ErrClosed
 	}
 	if c.err != nil {
@@ -429,6 +526,9 @@ func (c *Coordinator) IngestBatch(batch []event.Observation) error {
 
 func (c *Coordinator) ingestLocked(o event.Observation) error {
 	if c.closed {
+		if c.err != nil {
+			return c.err
+		}
 		return ErrClosed
 	}
 	if c.err != nil {
@@ -442,9 +542,7 @@ func (c *Coordinator) ingestLocked(o event.Observation) error {
 	m := wire.Message{Type: "obs", Reader: o.Reader, Object: o.Object, AtNS: int64(o.At)}
 	for _, s := range c.router.ShardsFor(o.Reader) {
 		c.journal[s] = append(c.journal[s], jentry{reader: o.Reader, object: o.Object, at: o.At})
-		// A send failure here is not fatal: the journal has the entry,
-		// and the barrier heals any gap by re-placing and replaying.
-		_, _ = c.links[s].client.SendFrame(m)
+		c.sendShardLocked(s, m)
 	}
 	c.sinceSync++
 	if c.sinceSync >= c.cfg.SyncEvery {
@@ -453,12 +551,41 @@ func (c *Coordinator) ingestLocked(o event.Observation) error {
 	return nil
 }
 
+// sendShardLocked routes one journaled frame to a shard's current link.
+// Attached links use the blocking send — their ring is sized for a full
+// barrier window, so it cannot fill. A detached link must never stall
+// the healthy shards behind a partitioned worker, so it gets the
+// non-blocking send; when its ring finally fills, the partition has
+// outlasted what the link can absorb, and nothing more may go down this
+// link (a gap in the applied stream would silently corrupt the worker's
+// detection state). The link is severed on the spot and the shard is
+// re-placed from checkpoint + journal at the next barrier.
+func (c *Coordinator) sendShardLocked(s int, m wire.Message) {
+	lk := c.links[s]
+	if !c.detached[s] {
+		// A send failure here is not fatal: the journal has the entry,
+		// and the barrier heals any gap by re-placing and replaying.
+		_, _ = lk.client.SendFrame(m)
+		return
+	}
+	if c.forceRepl[s] {
+		return // ring gave out earlier; the link is already severed
+	}
+	if _, err := lk.client.TrySendFrame(m); errors.Is(err, wire.ErrRingFull) {
+		c.forceRepl[s] = true
+		lk.client.Abort()
+	}
+}
+
 // AdvanceTo moves virtual time forward on every shard with no
 // intervening observations, so negation windows can expire.
 func (c *Coordinator) AdvanceTo(t event.Time) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		if c.err != nil {
+			return c.err
+		}
 		return ErrClosed
 	}
 	if c.err != nil {
@@ -471,7 +598,7 @@ func (c *Coordinator) AdvanceTo(t event.Time) error {
 	m := wire.Message{Type: "advance", AtNS: int64(t)}
 	for s := range c.links {
 		c.journal[s] = append(c.journal[s], jentry{adv: true, at: t})
-		_, _ = c.links[s].client.SendFrame(m)
+		c.sendShardLocked(s, m)
 	}
 	c.sinceSync++
 	if c.sinceSync >= c.cfg.SyncEvery {
@@ -503,8 +630,16 @@ func (c *Coordinator) Close() error {
 		return c.err
 	}
 	c.barrierLocked(true, true, false)
+	c.releaseLeaseLocked()
 	c.abortLocked()
 	return c.err
+}
+
+func (c *Coordinator) releaseLeaseLocked() {
+	if c.lease != nil {
+		_ = c.lease.release()
+		c.lease = nil
+	}
 }
 
 // Abort tears the coordinator down without draining — the crash
@@ -537,6 +672,19 @@ func (c *Coordinator) abortLocked() {
 // flushes the group at the current instant (Sync/Close semantics).
 func (c *Coordinator) barrierLocked(drain, deliverAll, forceCkpt bool) error {
 	c.sinceSync = 0
+	if c.lease != nil {
+		// Renew before touching any worker: a failed renewal means a
+		// standby bumped the term and owns the cluster now. Fail-stop
+		// here — issuing one more barrier as a zombie could race the
+		// successor's assigns.
+		if err := c.lease.renew(); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			c.abortLocked()
+			return c.err
+		}
+	}
 	ckpt := forceCkpt
 	if !drain && !forceCkpt && c.cfg.CheckpointEvery > 0 {
 		c.sinceCkpt++
@@ -554,26 +702,116 @@ func (c *Coordinator) barrierLocked(drain, deliverAll, forceCkpt bool) error {
 		}
 	}
 	c.deliverPendingLocked(deliverAll)
+	if ckpt && !drain && c.cfg.CheckpointPath != "" && c.err == nil {
+		if err := c.publishCheckpointLocked(); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
 	return c.err
 }
 
-// syncShardLocked drives one shard through the barrier, re-placing it on
-// failure until the barrier succeeds or placements are exhausted.
+// syncShardLocked drives one shard through the barrier. An established
+// placement that fails enters detached mode when PartitionGrace allows
+// it; otherwise (and once the grace expires, the ring fills, or a drain
+// demands completion) the shard is re-placed on failure until the
+// barrier succeeds or placements are exhausted.
 func (c *Coordinator) syncShardLocked(s int, ckpt, drain bool) error {
+	if c.detached[s] {
+		expired := c.cfg.Clock().Sub(c.detachedAt[s]) >= c.cfg.PartitionGrace
+		// A boot mismatch on reconnect means the worker process
+		// restarted and the feed's engine state is gone — the one thing
+		// detached mode was preserving. Re-place immediately.
+		if !drain && !c.forceRepl[s] && !expired && !linkBootMismatch(c.links[s]) {
+			return c.probeDetachedLocked(s, ckpt)
+		}
+		// Grace over (or the ring gave out, or a drain needs the shard
+		// complete): give up on waiting the partition out.
+		cause := c.detachCause[s]
+		c.clearDetachLocked(s)
+		if herr := c.handoffLocked(s, cause); herr != nil {
+			return herr
+		}
+	}
 	maxAttempts := 2*len(c.cfg.Workers) + 3
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		dets, err := c.barrierAttemptLocked(s, ckpt, drain)
 		if err == nil {
 			c.mergeDetsLocked(s, dets)
+			c.links[s].synced = true
+			c.frontier[s] = c.now
 			return nil
 		}
 		lastErr = err
+		if c.cfg.PartitionGrace > 0 && !drain && c.links[s].synced && !errors.Is(err, errAssignFailed) {
+			// The incumbent placement completed barriers before — its
+			// engine state is worth waiting for. Detach instead of
+			// discarding it: the journal keeps growing, delivery clamps
+			// to this shard's frontier, and a probe reattaches when the
+			// partition heals.
+			c.detachLocked(s, err)
+			return nil
+		}
 		if herr := c.handoffLocked(s, err); herr != nil {
 			return herr
 		}
 	}
 	return fmt.Errorf("cluster: shard %d: giving up after %d placements: %w", s, maxAttempts, lastErr)
+}
+
+// probeDetachedLocked checks a detached shard for signs of life without
+// paying a barrier timeout against a link that is still dead: a real
+// barrier attempt is made only when the worker acked something since
+// the last probe (or the ring drained completely) and the ring has
+// headroom for the barrier frames, so the attempt cannot block under
+// the coordinator lock. A failed attempt leaves the shard detached —
+// the grace timer, not the probe, decides when to give up on the
+// placement.
+func (c *Coordinator) probeDetachedLocked(s int, ckpt bool) error {
+	lk := c.links[s]
+	acked := lk.client.Acked()
+	alive := acked > c.probeAck[s] || lk.client.Unacked() == 0
+	if !alive || lk.client.Unacked()+8 > lk.cap {
+		return nil
+	}
+	dets, err := c.barrierAttemptLocked(s, ckpt, false)
+	if err != nil {
+		c.probeAck[s] = lk.client.Acked()
+		return nil
+	}
+	c.clearDetachLocked(s)
+	c.mergeDetsLocked(s, dets)
+	lk.synced = true
+	c.frontier[s] = c.now
+	return nil
+}
+
+// linkBootMismatch reports whether the link's worker reconnected with a
+// different boot ID — the process restarted, so the feed state detached
+// mode was preserving no longer exists.
+func linkBootMismatch(lk *link) bool {
+	lk.box.mu.Lock()
+	defer lk.box.mu.Unlock()
+	return lk.box.bootMismatch
+}
+
+func (c *Coordinator) detachLocked(s int, cause error) {
+	lk := c.links[s]
+	c.detached[s] = true
+	c.detachedAt[s] = c.cfg.Clock()
+	c.detachCause[s] = cause
+	c.forceRepl[s] = false
+	c.probeAck[s] = lk.client.Acked()
+	c.detaches++
+	if cb := c.cfg.OnDetach; cb != nil {
+		cb(s, lk.worker, cause)
+	}
+}
+
+func (c *Coordinator) clearDetachLocked(s int) {
+	c.detached[s] = false
+	c.detachCause[s] = nil
+	c.forceRepl[s] = false
 }
 
 // barrierAttemptLocked sends sync (or drain) — plus ckpt when due — to
@@ -585,7 +823,10 @@ func (c *Coordinator) barrierAttemptLocked(s int, ckpt, drain bool) ([]wire.Clus
 	if drain {
 		typ = "drain"
 	}
-	syncSeq, err := lk.client.SendFrame(wire.Message{Type: typ, AtNS: int64(c.now)})
+	// DetSeq carries the coordinator's merged high-water mark: the
+	// worker trims its detection outbox up to it and answers with
+	// everything still unconfirmed beyond it.
+	syncSeq, err := lk.client.SendFrame(wire.Message{Type: typ, AtNS: int64(c.now), DetSeq: c.detHigh[s]})
 	if err != nil {
 		return nil, err
 	}
@@ -609,6 +850,7 @@ func (c *Coordinator) barrierAttemptLocked(s int, ckpt, drain bool) ([]wire.Clus
 	if err != nil {
 		return nil, err
 	}
+	c.sweepStrayDetsLocked(lk, syncSeq)
 	if ckpt {
 		cm, err := c.awaitReplyLocked(lk, ckSeq, deadline)
 		if err != nil {
@@ -629,6 +871,33 @@ func (c *Coordinator) barrierAttemptLocked(s int, ckpt, drain bool) ([]wire.Clus
 		}
 	}
 	return sm.CDets, nil
+}
+
+// sweepStrayDetsLocked merges and discards dets replies to earlier
+// (stale, replayed) sync requests that accumulated in the mailbox while
+// the link was flapping — a detached link can answer several old syncs
+// in one reconnect replay. Each stray is a subset of the outbox-backed
+// reply just received for the current sync, so merging them (ascending
+// request seq, keeping dseq monotone for the dedupe) is pure hygiene:
+// the mailbox stays bounded and no out-of-band reply is left behind.
+func (c *Coordinator) sweepStrayDetsLocked(lk *link, before uint64) {
+	lk.box.mu.Lock()
+	var seqs []uint64
+	for seq, r := range lk.box.replies {
+		if seq < before && r.Type == "dets" {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	batches := make([][]wire.ClusterDet, 0, len(seqs))
+	for _, seq := range seqs {
+		batches = append(batches, lk.box.replies[seq].CDets)
+		delete(lk.box.replies, seq)
+	}
+	lk.box.mu.Unlock()
+	for _, b := range batches {
+		c.mergeDetsLocked(lk.shard, b)
+	}
 }
 
 // classifyLinkErr upgrades a generic link failure to errAssignFailed
@@ -691,6 +960,7 @@ func (c *Coordinator) awaitReplyLocked(lk *link, seq uint64, deadline time.Time)
 // replay without the checkpoint, when the journal still reaches back far
 // enough.
 func (c *Coordinator) handoffLocked(s int, cause error) error {
+	c.clearDetachLocked(s)
 	old := c.links[s]
 	old.client.Abort()
 	c.down[old.worker] = true
@@ -766,10 +1036,18 @@ func (c *Coordinator) mergeDetsLocked(s int, dets []wire.ClusterDet) {
 
 // deliverPendingLocked sorts the undelivered detections by
 // (fire, rule, seq) and invokes OnDetect for every completed fire-time
-// group — those strictly before the coordinator's clock. The group at
-// the current instant stays pending unless all is set, exactly as in
+// group — those strictly before the delivery cut. The group at the
+// current instant stays pending unless all is set, exactly as in
 // shard.Engine.deliverPending: it may still grow, and delivering it
 // early would make tie order depend on where the barrier fell.
+//
+// The cut is normally the coordinator's clock, but a detached shard
+// clamps it to its frontier — the clock through which that shard's
+// detections are confirmed complete. A fire-time group past a detached
+// frontier may still gain members when the shard reattaches and its
+// backlog syncs, so delivering it early would break the deterministic
+// merge order. Delivery latency degrades during a partition; order
+// never does.
 func (c *Coordinator) deliverPendingLocked(all bool) {
 	sort.Slice(c.pending, func(i, j int) bool {
 		a, b := c.pending[i], c.pending[j]
@@ -781,9 +1059,17 @@ func (c *Coordinator) deliverPendingLocked(all bool) {
 		}
 		return a.dseq < b.dseq
 	})
-	n := len(c.pending)
-	if !all {
-		n = sort.Search(len(c.pending), func(i int) bool { return c.pending[i].fire >= c.now })
+	cut := c.now
+	for s := range c.frontier {
+		if c.frontier[s] < cut {
+			cut = c.frontier[s]
+		}
+	}
+	n := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].fire >= cut })
+	if all && cut == c.now {
+		// Only a fully confirmed cluster may flush the group at the
+		// current instant (Sync/Close semantics).
+		n = len(c.pending)
 	}
 	for _, d := range c.pending[:n] {
 		c.delivered++
@@ -814,6 +1100,45 @@ func (c *Coordinator) Handoffs() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.handoffs
+}
+
+// Detached reports how many shards are currently in detached mode.
+func (c *Coordinator) Detached() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.detached {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Detaches reports how many times any shard has entered detached mode.
+func (c *Coordinator) Detaches() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.detaches
+}
+
+// Ingested reports how many observations the coordinator has accepted —
+// including everything a restored checkpoint already covered. A stream
+// replayed after failover resumes at this offset.
+func (c *Coordinator) Ingested() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ingested
+}
+
+// Delivered reports how many detections OnDetect has received, counting
+// those a restored checkpoint recorded as delivered by the previous
+// incarnation — the ordinal base a failover driver dedupes re-delivered
+// detections against.
+func (c *Coordinator) Delivered() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
 }
 
 // Now returns the coordinator's virtual clock.

@@ -28,6 +28,7 @@ type workerProc struct {
 	boot  int
 	alive bool
 	slow  bool
+	held  bool
 	conns map[net.Conn]bool
 }
 
@@ -109,10 +110,40 @@ func (p *workerProc) partition() {
 	}
 }
 
+// holdPartition severs every live connection AND rejects reconnects
+// until heal — a held partition, not a blip. The worker process and its
+// feed state survive throughout.
+func (p *workerProc) holdPartition() {
+	p.mu.Lock()
+	p.held = true
+	p.mu.Unlock()
+	p.partition()
+}
+
+// heal ends a held partition: subsequent dials are accepted again.
+func (p *workerProc) heal() {
+	p.mu.Lock()
+	p.held = false
+	p.mu.Unlock()
+}
+
+func (p *workerProc) isHeld() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.held
+}
+
 // setSlow makes every subsequent write lag.
 func (p *workerProc) setSlow() {
 	p.mu.Lock()
 	p.slow = true
+	p.mu.Unlock()
+}
+
+// setFast undoes setSlow.
+func (p *workerProc) setFast() {
+	p.mu.Lock()
+	p.slow = false
 	p.mu.Unlock()
 }
 
@@ -128,15 +159,23 @@ type trackingListener struct {
 }
 
 func (l *trackingListener) Accept() (net.Conn, error) {
-	c, err := l.Listener.Accept()
-	if err != nil {
-		return nil, err
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.p.isHeld() {
+			// Held partition: the dial succeeds at the TCP layer but the
+			// connection dies immediately, like a firewall RST.
+			c.Close()
+			continue
+		}
+		tc := &trackConn{Conn: c, p: l.p}
+		l.p.mu.Lock()
+		l.p.conns[tc] = true
+		l.p.mu.Unlock()
+		return tc, nil
 	}
-	tc := &trackConn{Conn: c, p: l.p}
-	l.p.mu.Lock()
-	l.p.conns[tc] = true
-	l.p.mu.Unlock()
-	return tc, nil
 }
 
 type trackConn struct {

@@ -7,14 +7,16 @@
 //
 // Worker side. A Worker hosts any number of shard feeds, one per
 // coordinator link. Each feed is driven by the sequenced frame stream of
-// one wire.ReliableClient (ClientID "coord.g<gen>.s<shard>.e<epoch>",
-// where gen is the coordinator incarnation — bumped at every checkpoint
-// restore so a restarted coordinator never collides with frames and
-// cached replies addressed to its predecessor's identities), so the
+// one wire.ReliableClient (ClientID "coord.<inst>.g<gen>.s<shard>.e<epoch>",
+// where inst is a random per-incarnation token and gen is the
+// coordinator generation — bumped at every checkpoint restore — so a
+// restarted coordinator never collides with frames and cached replies
+// addressed to its predecessor's identities), so the
 // worker inherits the wire layer's dedupe-by-sequence guarantee: after a
 // reconnect, replayed frames are re-acked and skipped, and reply-bearing
-// frames (sync/ckpt/drain) resend their cached replies so a reply lost
-// with the connection is never lost for good.
+// frames are re-answered — sync/drain from the detection outbox, ckpt
+// from a cached-reply window — so a reply lost with the connection is
+// never lost for good.
 //
 // The first frame on every accepted connection is a boot announcement
 // ({"type":"boot","msg":<boot id>}). A coordinator that reconnects and
@@ -70,6 +72,12 @@ type WorkerConfig struct {
 	// state gone, shard must be re-placed) from a transient network
 	// failure (state intact, replay suffices).
 	BootID string
+
+	// OutboxDir, when set, backs each feed's detection outbox with a
+	// wire spool WAL (one file per hosted shard) so detections fired but
+	// never coordinator-confirmed survive on disk. Empty keeps the
+	// outbox memory-only; the protocol is identical either way.
+	OutboxDir string
 }
 
 // Worker hosts shard detection engines for a cluster coordinator.
@@ -92,14 +100,16 @@ type feed struct {
 	eng     *detect.Engine
 	dseq    uint64
 	obs     uint64
-	dets    []wire.ClusterDet
+	out     *outbox
 	drained bool
 
-	// replies caches the last few reply-bearing responses (sync, ckpt,
-	// drain) keyed by request sequence. If the connection dies after the
-	// worker sent a reply but before the coordinator received it, the
-	// coordinator's replayed request is stale (already applied, dets
-	// buffer already emptied) — the cached reply is the only copy.
+	// replies caches the last few checkpoint responses keyed by request
+	// sequence. If the connection dies after the worker sent a ckptres
+	// but before the coordinator received it, the replayed request is
+	// stale (already applied) — the cached reply is the only copy.
+	// Sync/drain replies need no cache: the outbox answers stale
+	// replays with the full unconfirmed set, which the coordinator's
+	// dseq dedupe reduces to exactly the lost reply's content.
 	replies map[uint64]wire.Message
 	order   []uint64
 }
@@ -257,10 +267,19 @@ func (w *Worker) sequenced(m wire.Message, reply func(wire.Message)) bool {
 	defer w.mu.Unlock()
 	f := w.feeds[m.ClientID]
 	if f != nil && m.Seq <= f.lastSeq {
-		// Stale replay after a reconnect: already applied. Resend the
-		// cached reply if this request carried one, then re-ack.
-		if r, ok := f.replies[m.Seq]; ok {
-			reply(r)
+		// Stale replay after a reconnect: already applied. Reply-bearing
+		// frames are re-answered — sync/drain fresh from the outbox (a
+		// superset of the lost reply, which the coordinator's dseq
+		// dedupe shrinks back), ckpt from the cached-reply window — then
+		// re-acked.
+		switch m.Type {
+		case "sync", "drain":
+			f.out.confirm(m.DetSeq)
+			reply(wire.Message{Type: "dets", Shard: f.shard, Seq: m.Seq, CDets: f.out.pending()})
+		default:
+			if r, ok := f.replies[m.Seq]; ok {
+				reply(r)
+			}
 		}
 		reply(wire.Message{Type: "ack", Seq: f.lastSeq})
 		return true
@@ -269,6 +288,18 @@ func (w *Worker) sequenced(m wire.Message, reply func(wire.Message)) bool {
 		if f != nil && f.eng != nil {
 			reply(wire.Message{Type: "error", Shard: m.Shard, Seq: m.Seq, Msg: fmt.Sprintf("cluster: feed %s is already assigned", m.ClientID)})
 			return false
+		}
+		// A fresh assign supersedes any older feed hosting the same
+		// shard: the coordinator (or a standby that adopted its lease)
+		// abandoned that placement when it re-placed the shard. Evicting
+		// it fences the previous coordinator identity — its frames now
+		// get the no-feed refusal below — and keeps the feed map from
+		// growing one dead engine per epoch.
+		for id, old := range w.feeds {
+			if old.eng != nil && old.shard == m.Shard {
+				old.out.close()
+				delete(w.feeds, id)
+			}
 		}
 		nf, err := w.newFeed(m)
 		if err != nil {
@@ -311,10 +342,8 @@ func (w *Worker) sequenced(m wire.Message, reply func(wire.Message)) bool {
 				reply(wire.Message{Type: "error", Shard: f.shard, Seq: m.Seq, Msg: err.Error()})
 			}
 		}
-		r := wire.Message{Type: "dets", Shard: f.shard, Seq: m.Seq, CDets: f.dets}
-		f.dets = nil
-		f.cache(m.Seq, r)
-		reply(r)
+		f.out.confirm(m.DetSeq)
+		reply(wire.Message{Type: "dets", Shard: f.shard, Seq: m.Seq, CDets: f.out.pending()})
 	case "ckpt":
 		var buf bytes.Buffer
 		if err := f.eng.SaveCheckpoint(&buf); err != nil {
@@ -334,10 +363,8 @@ func (w *Worker) sequenced(m wire.Message, reply func(wire.Message)) bool {
 			f.eng.Close()
 			f.drained = true
 		}
-		r := wire.Message{Type: "dets", Shard: f.shard, Seq: m.Seq, CDets: f.dets}
-		f.dets = nil
-		f.cache(m.Seq, r)
-		reply(r)
+		f.out.confirm(m.DetSeq)
+		reply(wire.Message{Type: "dets", Shard: f.shard, Seq: m.Seq, CDets: f.out.pending()})
 	}
 	reply(wire.Message{Type: "ack", Seq: f.lastSeq})
 	return true
@@ -357,6 +384,11 @@ func (w *Worker) newFeed(m wire.Message) (*feed, error) {
 		}
 	}
 	f := &feed{shard: s, dseq: m.DetSeq, replies: map[uint64]wire.Message{}}
+	out, err := newOutbox(w.cfg.OutboxDir, s, m.DetSeq)
+	if err != nil {
+		return nil, err
+	}
+	f.out = out
 	eng, err := detect.New(detect.Config{
 		Graph:   b.Finalize(),
 		Context: w.cfg.Context,
@@ -364,7 +396,7 @@ func (w *Worker) newFeed(m wire.Message) (*feed, error) {
 		TypeOf:  w.cfg.TypeOf,
 		OnDetect: func(rid int, inst *event.Instance) {
 			f.dseq++
-			f.dets = append(f.dets, wire.ClusterDet{
+			f.out.add(wire.ClusterDet{
 				Rule: rid, Dseq: f.dseq, FireNS: int64(f.eng.Now()),
 				BeginNS: int64(inst.Begin), EndNS: int64(inst.End),
 				InstSeq: inst.Seq, Binds: inst.Binds,
@@ -377,14 +409,17 @@ func (w *Worker) newFeed(m wire.Message) (*feed, error) {
 		Interpreted:        w.cfg.Interpreted,
 	})
 	if err != nil {
+		f.out.close()
 		return nil, fmt.Errorf("cluster: assign shard %d: %w", s, err)
 	}
 	f.eng = eng
 	if len(m.Ck) > 0 {
 		if m.Sum != 0 && crc32.ChecksumIEEE(m.Ck) != m.Sum {
+			f.out.close()
 			return nil, fmt.Errorf("cluster: assign shard %d: checkpoint checksum mismatch (corrupt handoff state)", s)
 		}
 		if err := restoreGuarded(eng, m.Ck); err != nil {
+			f.out.close()
 			return nil, fmt.Errorf("cluster: assign shard %d: %w", s, err)
 		}
 	}

@@ -28,6 +28,22 @@ const (
 	// the assign-rejection → full-journal-replay fallback at the next
 	// handoff.
 	FaultCorruptCheckpoint
+	// FaultPartitionHold severs a worker's connections AND rejects every
+	// reconnect until a matching FaultHeal — a held network partition,
+	// not a blip. The degraded-mode suite pairs it with a coordinator
+	// running under a PartitionGrace.
+	FaultPartitionHold
+	// FaultHeal ends a FaultPartitionHold on the same worker.
+	FaultHeal
+	// FaultCoordKill crashes the active coordinator (no drain, no lease
+	// release); the driver's warm standby adopts the published
+	// checkpoint once the lease expires.
+	FaultCoordKill
+	// FaultSlowAll and FaultFastAll bracket a sustained overload span:
+	// every worker's write path lags (service rate below offered rate),
+	// then recovers.
+	FaultSlowAll
+	FaultFastAll
 )
 
 func (k ClusterFaultKind) String() string {
@@ -42,6 +58,16 @@ func (k ClusterFaultKind) String() string {
 		return "slow"
 	case FaultCorruptCheckpoint:
 		return "corrupt-checkpoint"
+	case FaultPartitionHold:
+		return "partition-hold"
+	case FaultHeal:
+		return "heal"
+	case FaultCoordKill:
+		return "coord-kill"
+	case FaultSlowAll:
+		return "slow-all"
+	case FaultFastAll:
+		return "fast-all"
 	}
 	return fmt.Sprintf("ClusterFaultKind(%d)", int(k))
 }
@@ -103,6 +129,76 @@ func NewClusterPlan(seed int64, workers, streamLen int) *ClusterPlan {
 		p.Faults = append(p.Faults, ClusterFault{
 			AtObs: 1 + rng.Intn(streamLen-2), Kind: FaultSlow, Worker: rng.Intn(workers),
 		})
+	}
+	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].AtObs < p.Faults[j].AtObs })
+	return p
+}
+
+// NewDegradedPlan draws a degraded-mode fault schedule for a stream
+// whose observation timestamps (in nanoseconds, non-decreasing) are
+// atNS. Every plan is guaranteed to hold a network partition against
+// one worker for at least minPartitionNS of virtual stream time (30s),
+// kill the coordinator once mid-stream, and run a sustained overload
+// span where every worker's write path lags; about half the plans also
+// kill and restart a second worker on top. Two calls with the same
+// arguments produce the same plan.
+func NewDegradedPlan(seed int64, workers int, atNS []int64) *ClusterPlan {
+	const minPartitionNS = 30_000_000_000
+	rng := rand.New(rand.NewSource(seed ^ 0xde96aded))
+	p := &ClusterPlan{Seed: seed}
+	n := len(atNS)
+	if workers < 1 || n < 24 {
+		return p
+	}
+
+	// A held partition spanning ≥30s of stream time: the heal index is
+	// computed from the timestamps, not guessed from the average step.
+	w := rng.Intn(workers)
+	hold := 1 + n/8 + rng.Intn(n/8+1)
+	heal := hold + 1
+	for heal < n-1 && atNS[heal]-atNS[hold] < minPartitionNS {
+		heal++
+	}
+	p.Faults = append(p.Faults,
+		ClusterFault{AtObs: hold, Kind: FaultPartitionHold, Worker: w},
+		ClusterFault{AtObs: heal, Kind: FaultHeal, Worker: w},
+	)
+
+	// One coordinator kill — sometimes inside the partition window (the
+	// standby then adopts a checkpoint whose detached shard is covered
+	// by its journal suffix), sometimes after it.
+	kill := 1 + n/3 + rng.Intn(n/2)
+	if kill >= n {
+		kill = n - 1
+	}
+	p.Faults = append(p.Faults, ClusterFault{AtObs: kill, Kind: FaultCoordKill})
+
+	// A sustained overload span: all workers slow for ~a sixth of the
+	// stream.
+	s0 := 1 + rng.Intn(n/2)
+	s1 := s0 + n/6
+	if s1 >= n {
+		s1 = n - 1
+	}
+	p.Faults = append(p.Faults,
+		ClusterFault{AtObs: s0, Kind: FaultSlowAll},
+		ClusterFault{AtObs: s1, Kind: FaultFastAll},
+	)
+
+	// About half the plans also crash-and-restart a second worker.
+	if workers > 1 && rng.Intn(2) == 0 {
+		w2 := (w + 1 + rng.Intn(workers-1)) % workers
+		at := 1 + n/4 + rng.Intn(n/2)
+		back := at + 1 + rng.Intn(n/4+1)
+		if back >= n {
+			back = n - 1
+		}
+		if back > at {
+			p.Faults = append(p.Faults,
+				ClusterFault{AtObs: at, Kind: FaultKill, Worker: w2},
+				ClusterFault{AtObs: back, Kind: FaultRestart, Worker: w2},
+			)
+		}
 	}
 	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].AtObs < p.Faults[j].AtObs })
 	return p

@@ -64,6 +64,9 @@ type Config struct {
 	Sink func(event.Observation) error
 	// Buffer is the channel capacity between goroutines (default 256).
 	Buffer int
+	// Shed, when set, switches the source admission boundary from
+	// backpressure to drop-oldest load shedding (see ShedPolicy).
+	Shed *ShedPolicy
 }
 
 // SourceError wraps a failure originating in the Source, as opposed to a
@@ -138,12 +141,35 @@ func Run(ctx context.Context, cfg Config) error {
 
 	// Source goroutine. A source failure is recorded without cancelling:
 	// closing chans[0] lets the stages drain, flush, and deliver every
-	// observation emitted before the failure.
+	// observation emitted before the failure. With a ShedPolicy, a full
+	// admission channel evicts its oldest observation instead of blocking
+	// the source; eviction and consumption race benignly (channel ops are
+	// atomic, and either way a slot frees up).
+	admit := send(chans[0])
+	if cfg.Shed != nil {
+		ch := chans[0]
+		admit = func(o event.Observation) error {
+			for {
+				select {
+				case ch <- o:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				select {
+				case old := <-ch:
+					cfg.Shed.drop(old)
+				default: // the consumer drained it first
+				}
+			}
+		}
+	}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer close(chans[0])
-		if err := cfg.Source(ctx, send(chans[0])); err != nil && !errors.Is(err, context.Canceled) {
+		if err := cfg.Source(ctx, admit); err != nil && !errors.Is(err, context.Canceled) {
 			record(&SourceError{Err: err})
 		}
 	}()

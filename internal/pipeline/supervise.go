@@ -23,6 +23,11 @@ type RestartPolicy struct {
 	// OnRestart observes each restart with its ordinal and the error
 	// that caused it.
 	OnRestart func(restart int, err error)
+
+	// sleep overrides how the supervisor waits out a restart delay;
+	// tests inject it to observe the exact backoff sequence without
+	// wall-clock waits. It returns false if the context was cancelled.
+	sleep func(ctx context.Context, d time.Duration) bool
 }
 
 // SupervisedResult reports what the supervisor did.
@@ -83,9 +88,18 @@ func RunSupervised(ctx context.Context, cfg Config, policy RestartPolicy) (Super
 			policy.OnRestart(res.Restarts, err)
 		}
 		delay := time.Duration(float64(backoff) * (1 + jitter*(2*rng.Float64()-1)))
-		select {
-		case <-time.After(delay):
-		case <-ctx.Done():
+		wait := policy.sleep
+		if wait == nil {
+			wait = func(ctx context.Context, d time.Duration) bool {
+				select {
+				case <-time.After(d):
+					return true
+				case <-ctx.Done():
+					return false
+				}
+			}
+		}
+		if !wait(ctx, delay) {
 			return res, ctx.Err()
 		}
 		backoff = time.Duration(float64(backoff) * mult)

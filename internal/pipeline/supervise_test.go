@@ -95,6 +95,94 @@ func TestRunSupervisedDoesNotRetrySinkErrors(t *testing.T) {
 	}
 }
 
+// TestRunSupervisedBackoffCapsUnderRestartStorm: a source that fails on
+// every run produces delays that grow by the multiplier until they hit
+// MaxBackoff and then stay there — the supervisor never spins hot and
+// never grows past the cap.
+func TestRunSupervisedBackoffCapsUnderRestartStorm(t *testing.T) {
+	var delays []time.Duration
+	policy := RestartPolicy{
+		MaxRestarts: 12,
+		Backoff:     100 * time.Millisecond,
+		MaxBackoff:  800 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        7,
+		sleep: func(ctx context.Context, d time.Duration) bool {
+			delays = append(delays, d)
+			return true
+		},
+	}
+	_, err := RunSupervised(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			return errors.New("reader permanently unplugged")
+		},
+		Sink: func(event.Observation) error { return nil },
+	}, policy)
+	if err == nil {
+		t.Fatal("restart storm ended without an error")
+	}
+	if len(delays) != 12 {
+		t.Fatalf("recorded %d delays, want 12", len(delays))
+	}
+	// Nominal bases: 100, 200, 400, 800, 800, ... with ±20% jitter.
+	base := 100 * time.Millisecond
+	for i, d := range delays {
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside jittered [%v, %v] of base %v", i, d, lo, hi, base)
+		}
+		base *= 2
+		if base > 800*time.Millisecond {
+			base = 800 * time.Millisecond
+		}
+	}
+	// The tail must sit at the cap, not keep doubling.
+	last := delays[len(delays)-1]
+	if last > time.Duration(float64(800*time.Millisecond)*1.2) {
+		t.Fatalf("final delay %v exceeds the jittered cap", last)
+	}
+}
+
+// TestRunSupervisedStageFailureIsTerminal: a permanently failing stage
+// surfaces its error after a single run — the supervisor must not treat
+// it as a restartable source failure and spin.
+func TestRunSupervisedStageFailureIsTerminal(t *testing.T) {
+	boom := errors.New("stage state corrupted")
+	runs := 0
+	res, err := RunSupervised(context.Background(), Config{
+		Source: func(ctx context.Context, emit func(event.Observation) error) error {
+			runs++
+			for i := 0; ; i++ {
+				if err := emit(event.Observation{Reader: "r", Object: "o", At: event.Time(i)}); err != nil {
+					return err
+				}
+			}
+		},
+		Stages: []StageFunc{func(out func(event.Observation) error) Stage {
+			return failingStage{err: boom}
+		}},
+		Sink: func(event.Observation) error { return nil },
+	}, RestartPolicy{MaxRestarts: -1, Backoff: time.Millisecond,
+		sleep: func(ctx context.Context, d time.Duration) bool { return true }})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("want the stage error, got %v", err)
+	}
+	var se *SourceError
+	if errors.As(err, &se) {
+		t.Fatalf("stage failure surfaced as a restartable SourceError: %v", err)
+	}
+	if res.Restarts != 0 || runs != 1 {
+		t.Fatalf("restarts=%d runs=%d: permanently failing stage was retried", res.Restarts, runs)
+	}
+}
+
+type failingStage struct{ err error }
+
+func (s failingStage) Push(event.Observation) error { return s.err }
+func (s failingStage) Flush() error                 { return nil }
+
 // TestRunSupervisedStopsOnCancel: cancellation wins over the restart
 // loop.
 func TestRunSupervisedStopsOnCancel(t *testing.T) {

@@ -5,11 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
+
+// ErrRingFull is returned by TrySendFrame when the unacked ring is at
+// capacity and no shed policy is configured: the caller must either wait
+// (Send/SendFrame block) or treat the link as saturated.
+var ErrRingFull = errors.New("wire: unacked ring is full")
 
 // ReliableClient is the fault-tolerant counterpart of Client for edge
 // readers: every obs/advance frame gets a monotonically increasing
@@ -40,11 +47,12 @@ type ReliableClient struct {
 	stats      Message
 	reconnects int
 	fires      []Message
-	timedOut   bool // Close drain deadline expired
+	timedOut   bool   // Close drain deadline expired
+	shed       uint64 // observations dropped by the overload policy
 
 	abortCh chan struct{} // closed exactly once on abort/terminal failure
 	doneCh  chan struct{} // closed when the connection manager exits
-	rng     *rand.Rand
+	randf   func() float64
 }
 
 // ReliableOptions tunes a ReliableClient. The zero value of every field
@@ -68,7 +76,16 @@ type ReliableOptions struct {
 	MaxBackoff time.Duration // backoff cap (default 5s)
 	Multiplier float64       // backoff growth factor (default 2; 0 = default)
 	Jitter     float64       // ± fraction of each delay (default 0.2)
-	Seed       int64         // seeds the jitter for reproducible tests
+	// Seed seeds this client's private jitter RNG for reproducible tests.
+	// When zero, the seed is derived from ClientID, so a fleet of clients
+	// restarting together still spreads its reconnects instead of jittering
+	// in lockstep off a shared zero seed.
+	Seed int64
+	// Rand, when set, replaces the jitter RNG entirely with a caller-owned
+	// source of values in [0, 1). It is called serially under the client's
+	// lock, so a plain *rand.Rand method is safe; chaos harnesses inject a
+	// deterministic sequence here.
+	Rand func() float64
 	// MaxAttempts caps consecutive failed dials before the client fails
 	// terminally (0 = retry forever).
 	MaxAttempts int
@@ -90,6 +107,19 @@ type ReliableOptions struct {
 	// Spool, when set, journals every sequenced frame and ack so a
 	// restarted process resumes the feed (see OpenSpool).
 	Spool *Spool
+
+	// DropOldestOnFull switches the overload policy from backpressure to
+	// load shedding: when the unacked ring is full, the oldest sheddable
+	// frame (type "obs") is dropped — and counted via Shed/OnShed —
+	// instead of the send blocking. Saturation then costs coverage of the
+	// oldest observations, never latency or ordering: the server applies
+	// sequenced frames in seq order and tolerates gaps, so the surviving
+	// stream is a prefix-dropped subsequence. Frames that carry protocol
+	// state (advance, assign, sync, ...) are never shed; a ring full of
+	// only those still blocks.
+	DropOldestOnFull bool
+	// OnShed observes each frame dropped by DropOldestOnFull.
+	OnShed func(Message)
 
 	OnFire func(Message)
 	// OnReconnect is called after each lost session, with the total
@@ -184,7 +214,16 @@ func DialReliable(addr string, opt ReliableOptions) (*ReliableClient, error) {
 		next:    1,
 		abortCh: make(chan struct{}),
 		doneCh:  make(chan struct{}),
-		rng:     rand.New(rand.NewSource(opt.Seed)),
+		randf:   opt.Rand,
+	}
+	if c.randf == nil {
+		seed := opt.Seed
+		if seed == 0 {
+			h := fnv.New64a()
+			h.Write([]byte(opt.ClientID))
+			seed = int64(h.Sum64())
+		}
+		c.randf = rand.New(rand.NewSource(seed)).Float64
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if sp := opt.Spool; sp != nil {
@@ -229,12 +268,75 @@ func (c *ReliableClient) SendFrame(m Message) (uint64, error) {
 	return c.enqueue(m)
 }
 
+// TrySendFrame is SendFrame without the backpressure: when the unacked
+// ring is full it returns ErrRingFull immediately (or sheds the oldest
+// observation if DropOldestOnFull is set) instead of blocking. A cluster
+// coordinator uses it to keep feeding a detached worker's replay ring
+// without ever stalling the healthy shards behind a partitioned link.
+func (c *ReliableClient) TrySendFrame(m Message) (uint64, error) {
+	if m.Type == "" {
+		return 0, errors.New("wire: SendFrame requires a frame type")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ring) >= c.opt.Buffer && !c.shedOldestLocked() {
+		return 0, ErrRingFull
+	}
+	return c.enqueueLocked(m)
+}
+
+// Unacked reports how many sequenced frames are waiting for a server
+// ack — the ring depth, and the watermark overload control reads.
+func (c *ReliableClient) Unacked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ring)
+}
+
+// Shed reports how many observations the DropOldestOnFull policy has
+// discarded.
+func (c *ReliableClient) Shed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed
+}
+
+// shedOldestLocked drops the oldest sheddable ("obs") frame from the
+// ring, reporting whether a slot was freed. Only observations are safe
+// to shed: the server applies frames in seq order but tolerates seq
+// gaps, and a missing observation degrades coverage, while a missing
+// advance/assign/sync frame would corrupt protocol state.
+func (c *ReliableClient) shedOldestLocked() bool {
+	if !c.opt.DropOldestOnFull {
+		return false
+	}
+	for i := range c.ring {
+		if c.ring[i].Type == "obs" {
+			dropped := c.ring[i]
+			c.ring = append(c.ring[:i], c.ring[i+1:]...)
+			c.shed++
+			if cb := c.opt.OnShed; cb != nil {
+				cb(dropped)
+			}
+			return true
+		}
+	}
+	return false
+}
+
 func (c *ReliableClient) enqueue(m Message) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for len(c.ring) >= c.opt.Buffer && c.failed == nil && !c.closing && !c.aborted {
+		if c.shedOldestLocked() {
+			break
+		}
 		c.cond.Wait()
 	}
+	return c.enqueueLocked(m)
+}
+
+func (c *ReliableClient) enqueueLocked(m Message) (uint64, error) {
 	if c.failed != nil {
 		return 0, c.failed
 	}
@@ -434,7 +536,7 @@ func (c *ReliableClient) nextBackoff(d time.Duration) time.Duration {
 // reconnect in lockstep after a server restart.
 func (c *ReliableClient) jittered(d time.Duration) time.Duration {
 	c.mu.Lock()
-	f := 1 + c.opt.Jitter*(2*c.rng.Float64()-1)
+	f := 1 + c.opt.Jitter*(2*c.randf()-1)
 	c.mu.Unlock()
 	j := time.Duration(float64(d) * f)
 	if j < time.Millisecond {
@@ -596,10 +698,9 @@ func (c *ReliableClient) session(conn net.Conn) bool {
 				cursor = c.acked // acks advanced past our replay cursor
 			}
 			if n := len(c.ring); n > 0 && c.ring[n-1].Seq > cursor {
-				lo := 0
-				if first := c.ring[0].Seq; cursor >= first {
-					lo = int(cursor - first + 1)
-				}
+				// Binary search, not seq arithmetic: shedding can leave
+				// gaps in the ring's ascending seqs.
+				lo := sort.Search(n, func(i int) bool { return c.ring[i].Seq > cursor })
 				batch = append([]Message(nil), c.ring[lo:]...)
 				break
 			}
@@ -649,13 +750,9 @@ func (c *ReliableClient) handleAck(seq uint64) {
 			seq = c.next - 1
 		}
 		if len(c.ring) > 0 {
-			drop := int(seq - c.ring[0].Seq + 1)
-			if drop < 0 {
-				drop = 0
-			}
-			if drop > len(c.ring) {
-				drop = len(c.ring)
-			}
+			// The ring's seqs ascend but may have shed gaps; release
+			// exactly the frames the cumulative ack covers.
+			drop := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].Seq > seq })
 			c.ring = c.ring[drop:]
 			if len(c.ring) == 0 {
 				c.ring = nil // release the backing array

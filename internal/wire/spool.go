@@ -20,14 +20,15 @@ import (
 // Entries: {"seq":N,"m":{...}} journals a frame, {"ack":N} a cumulative
 // ack. Opening compacts the file down to the still-unacked frames.
 type Spool struct {
-	mu      sync.Mutex
-	path    string
-	f       *os.File
-	w       *bufio.Writer
-	enc     *json.Encoder
-	lastSeq uint64 // highest frame seq ever journaled
-	lastAck uint64
-	pending []Message // unacked frames recovered at open
+	mu          sync.Mutex
+	path        string
+	f           *os.File
+	w           *bufio.Writer
+	enc         *json.Encoder
+	lastSeq     uint64 // highest frame seq ever journaled
+	lastAck     uint64
+	pending     []Message // unacked frames recovered at open
+	quarantined int       // bytes moved to the .quarantine file at open
 }
 
 type spoolEntry struct {
@@ -90,31 +91,38 @@ func OpenSpool(path string) (*Spool, error) {
 }
 
 func (s *Spool) replay(r io.Reader) error {
-	dec := json.NewDecoder(bufio.NewReader(r))
+	br := bufio.NewReader(r)
 	frames := map[uint64]Message{}
 	order := []uint64{}
+	var bad []byte // undecodable suffix, quarantined instead of trusted
 	for {
-		var e spoolEntry
-		if err := dec.Decode(&e); err == io.EOF {
+		line, err := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var e spoolEntry
+			if uerr := json.Unmarshal(line, &e); uerr != nil {
+				// A torn record — typically the final append of an
+				// unclean shutdown cut mid-line. Nothing after it can be
+				// trusted either (offsets are gone), so the whole suffix
+				// is rejected and preserved in the .quarantine side file
+				// rather than silently discarded or crashed on.
+				bad = append(bad, line...)
+				rest, rerr := io.ReadAll(br)
+				bad = append(bad, rest...)
+				if rerr != nil {
+					return rerr
+				}
+				break
+			}
+			s.applyEntry(&e, frames, &order)
+		}
+		if err == io.EOF {
 			break
 		} else if err != nil {
-			// A torn tail (crash mid-append) is expected; everything
-			// before it replayed fine. A torn mid-file entry would also
-			// stop here, losing only what a crashed process never
-			// confirmed anyway.
-			break
+			return err
 		}
-		if e.M != nil && e.Seq > 0 {
-			if _, dup := frames[e.Seq]; !dup {
-				order = append(order, e.Seq)
-			}
-			frames[e.Seq] = *e.M
-			if e.Seq > s.lastSeq {
-				s.lastSeq = e.Seq
-			}
-		} else if e.Ack > s.lastAck {
-			s.lastAck = e.Ack
-		}
+	}
+	if len(bad) > 0 {
+		s.quarantine(bad)
 	}
 	for _, seq := range order {
 		if seq > s.lastAck {
@@ -126,6 +134,44 @@ func (s *Spool) replay(r io.Reader) error {
 	}
 	return nil
 }
+
+// quarantine preserves rejected journal bytes in path+".quarantine" for
+// operator inspection. Best effort: recovery of the good prefix must not
+// fail because the evidence file could not be written.
+func (s *Spool) quarantine(b []byte) {
+	s.quarantined = len(b)
+	f, err := os.OpenFile(s.QuarantinePath(), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(b)
+	_ = f.Close()
+}
+
+func (s *Spool) applyEntry(e *spoolEntry, frames map[uint64]Message, order *[]uint64) {
+	if e.M != nil && e.Seq > 0 {
+		if _, dup := frames[e.Seq]; !dup {
+			*order = append(*order, e.Seq)
+		}
+		frames[e.Seq] = *e.M
+		if e.Seq > s.lastSeq {
+			s.lastSeq = e.Seq
+		}
+	} else if e.Ack > s.lastAck {
+		s.lastAck = e.Ack
+	}
+}
+
+// Quarantined reports how many bytes of undecodable journal suffix the
+// last open moved aside, and QuarantinePath where they were preserved.
+func (s *Spool) Quarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
+}
+
+// QuarantinePath is the side file that receives rejected journal bytes.
+func (s *Spool) QuarantinePath() string { return s.path + ".quarantine" }
 
 // Pending returns the frames journaled but never acked, in sequence
 // order — what a restarted client must replay.

@@ -80,6 +80,12 @@ type Message struct {
 	Detections   uint64 `json:"detections,omitempty"`
 	Shards       int    `json:"shards,omitempty"` // detection shards serving the engine
 
+	// status (reply to a "status" frame): overload visibility. Shed is
+	// how many observations the admission queue has dropped under its
+	// drop-oldest policy; Queue is the current admission-queue depth.
+	Shed  uint64 `json:"shed,omitempty"`
+	Queue int    `json:"queue,omitempty"`
+
 	// cluster mode (internal/core/cluster). Coordinator → worker frames
 	// reuse the sequenced obs/advance machinery and add: "assign" (host
 	// shard Shard, restoring Ck and resuming the detection counter at
@@ -133,6 +139,30 @@ type Server struct {
 	// client's replayed frames dedupe correctly.
 	seqMu   sync.Mutex
 	lastSeq map[string]uint64
+
+	// admit, when configured (WithAdmission), decouples frame arrival
+	// from engine application behind a bounded queue.
+	admit    *admission
+	pumpDone chan struct{}
+}
+
+// admission is the bounded queue between connection handlers and the
+// engine. Full + dropOldest → the oldest queued observation is shed (and
+// counted); full without dropOldest → the handler blocks, pushing
+// backpressure into the client's unacked ring.
+type admission struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []admitted
+	cap    int
+	drop   bool
+	shed   uint64
+	closed bool
+}
+
+type admitted struct {
+	m  Message
+	cc *clientConn
 }
 
 // clientConn is one registered connection: its encoder, the write lock
@@ -145,6 +175,14 @@ type clientConn struct {
 	ids  map[string]bool
 }
 
+// reply writes one frame; a dead connection's error is ignored (its
+// handler detaches it).
+func (cc *clientConn) reply(m Message) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	_ = cc.enc.Encode(m)
+}
+
 // Option tunes a Server.
 type Option func(*serverOpts)
 
@@ -153,6 +191,8 @@ type serverOpts struct {
 	reorderSlack time.Duration
 	keepalive    time.Duration
 	peerTimeout  time.Duration
+	admitCap     int
+	admitDrop    bool
 }
 
 // WithDedup installs a duplicate filter in front of the engine: repeated
@@ -182,6 +222,29 @@ func WithKeepalive(interval time.Duration) Option {
 // keepalive enabled defaults to 3× the keepalive interval.
 func WithPeerTimeout(d time.Duration) Option {
 	return func(o *serverOpts) { o.peerTimeout = d }
+}
+
+// WithAdmission puts a bounded queue of the given capacity between
+// connection handlers and the engine, making overload behavior explicit
+// end to end. When the queue is full, dropOldest=false blocks the
+// handler (backpressure into the sender's unacked ring — nothing is
+// lost, latency grows); dropOldest=true sheds the oldest queued
+// observation instead, counting it in the shed counter surfaced by the
+// "status" frame, so a saturated server keeps bounded latency at the
+// cost of the stalest coverage. Advance frames are never shed — they
+// carry clock state, and dropping one could silently change detection
+// results.
+//
+// In admission mode an ack means "admitted": the frame is applied in
+// order (or knowingly shed) before Shutdown returns, and ingest errors
+// are reported asynchronously as error frames. Queries still run
+// synchronously and may observe the engine a few queued frames behind
+// the acks.
+func WithAdmission(capacity int, dropOldest bool) Option {
+	return func(o *serverOpts) {
+		o.admitCap = capacity
+		o.admitDrop = dropOldest
+	}
 }
 
 // NewServer builds a server around a fresh engine. The config's
@@ -242,6 +305,12 @@ func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
 			return next(intern.CanonObservation(o))
 		}
 	}
+	if so.admitCap > 0 {
+		s.admit = &admission{cap: so.admitCap, drop: so.admitDrop}
+		s.admit.cond = sync.NewCond(&s.admit.mu)
+		s.pumpDone = make(chan struct{})
+		go s.pump()
+	}
 	return s, nil
 }
 
@@ -301,6 +370,38 @@ func (s *Server) Shutdown() {
 		_ = c.conn.SetReadDeadline(time.Now())
 	}
 	s.wg.Wait()
+	// With every handler gone no new frames can be admitted; drain the
+	// queue so everything acked-as-admitted is applied before the caller
+	// snapshots the engine.
+	if s.admit != nil {
+		s.admit.mu.Lock()
+		s.admit.closed = true
+		s.admit.mu.Unlock()
+		s.admit.cond.Broadcast()
+		<-s.pumpDone
+	}
+}
+
+// Shed reports how many observations the admission queue has dropped
+// under its drop-oldest policy (0 without WithAdmission).
+func (s *Server) Shed() uint64 {
+	if s.admit == nil {
+		return 0
+	}
+	s.admit.mu.Lock()
+	defer s.admit.mu.Unlock()
+	return s.admit.shed
+}
+
+// QueueDepth reports the current admission-queue depth (0 without
+// WithAdmission).
+func (s *Server) QueueDepth() int {
+	if s.admit == nil {
+		return 0
+	}
+	s.admit.mu.Lock()
+	defer s.admit.mu.Unlock()
+	return len(s.admit.q)
 }
 
 // SeqState snapshots the per-client cumulative ack state (highest applied
@@ -358,11 +459,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 
-	reply := func(m Message) {
-		cc.mu.Lock()
-		defer cc.mu.Unlock()
-		_ = cc.enc.Encode(m)
-	}
+	reply := cc.reply
 
 	// Keepalive: ping on an interval; a peer that stays silent past the
 	// read deadline is reaped (Decode fails on the expired deadline).
@@ -406,32 +503,15 @@ func (s *Server) handle(conn net.Conn) {
 				cc.ids[m.ClientID] = true
 				fresh, _ = s.claimSeq(m.ClientID, m.Seq)
 			}
-			var err error
-			if fresh {
-				s.emu.Lock()
-				if m.Type == "obs" {
-					err = s.ingest(event.Observation{
-						Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
-					})
-				} else {
-					if s.flush != nil {
-						err = s.flush()
-					}
-					if err == nil {
-						err = s.eng.AdvanceTo(time.Duration(m.AtNS))
-					}
-					if err == nil {
-						err = s.eng.Flush()
-					}
-				}
-				s.emu.Unlock()
-			}
-			if err != nil {
-				reply(Message{Type: "error", Msg: err.Error()})
-			}
-			if m.ClientID != "" && m.Seq > 0 {
+			if !fresh {
 				reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+				continue
 			}
+			if s.admit != nil {
+				s.admitFrame(cc, m)
+				continue
+			}
+			s.applyFrame(cc, m)
 		case "hello":
 			// Resume probe: tell the client how far this feed already got.
 			if m.ClientID != "" {
@@ -452,6 +532,16 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			reply(Message{Type: "result", Columns: cols, Rows: jsonRows(rows)})
+		case "status":
+			// Overload visibility: engine progress plus the admission
+			// queue's shed counter and depth.
+			s.emu.Lock()
+			met := s.eng.Metrics()
+			s.emu.Unlock()
+			reply(Message{
+				Type: "status", Observations: met.Observations, Detections: met.Detections,
+				Shards: s.eng.Shards(), Shed: s.Shed(), Queue: s.QueueDepth(),
+			})
 		case "bye":
 			s.emu.Lock()
 			met := s.eng.Metrics()
@@ -461,6 +551,100 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			reply(Message{Type: "error", Msg: fmt.Sprintf("unknown message type %q", m.Type)})
 		}
+	}
+}
+
+// applyFrame runs one fresh obs/advance frame through the ingest chain
+// and sends the error/ack replies — the synchronous tail of the handler,
+// also run by the admission pump.
+func (s *Server) applyFrame(cc *clientConn, m Message) {
+	var err error
+	s.emu.Lock()
+	if m.Type == "obs" {
+		err = s.ingest(event.Observation{
+			Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
+		})
+	} else {
+		if s.flush != nil {
+			err = s.flush()
+		}
+		if err == nil {
+			err = s.eng.AdvanceTo(time.Duration(m.AtNS))
+		}
+		if err == nil {
+			err = s.eng.Flush()
+		}
+	}
+	s.emu.Unlock()
+	if err != nil {
+		cc.reply(Message{Type: "error", Msg: err.Error()})
+	}
+	if m.ClientID != "" && m.Seq > 0 {
+		cc.reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+	}
+}
+
+// admitFrame enqueues one fresh frame on the admission queue, applying
+// the configured overload policy when it is full.
+func (s *Server) admitFrame(cc *clientConn, m Message) {
+	a := s.admit
+	var dropped []admitted
+	a.mu.Lock()
+	for len(a.q) >= a.cap && !a.closed {
+		if a.drop {
+			if i := oldestSheddable(a.q); i >= 0 {
+				dropped = append(dropped, a.q[i])
+				a.q = append(a.q[:i], a.q[i+1:]...)
+				a.shed++
+				continue
+			}
+		}
+		// Backpressure (or a queue full of unsheddable advance frames):
+		// block the handler; the sender's unacked ring absorbs the stall.
+		a.cond.Wait()
+	}
+	if !a.closed {
+		a.q = append(a.q, admitted{m: m, cc: cc})
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	// A shed frame was claimed at admission, so its sender still gets the
+	// cumulative ack and releases it — it is handled, just not applied.
+	for _, d := range dropped {
+		if d.m.ClientID != "" && d.m.Seq > 0 {
+			d.cc.reply(Message{Type: "ack", Seq: s.ackedSeq(d.m.ClientID)})
+		}
+	}
+}
+
+func oldestSheddable(q []admitted) int {
+	for i := range q {
+		if q[i].m.Type == "obs" {
+			return i
+		}
+	}
+	return -1
+}
+
+// pump drains the admission queue into the engine in arrival order,
+// exiting only when the queue is closed and empty (Shutdown).
+func (s *Server) pump() {
+	defer close(s.pumpDone)
+	a := s.admit
+	for {
+		a.mu.Lock()
+		for len(a.q) == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		if len(a.q) == 0 {
+			a.mu.Unlock()
+			return
+		}
+		e := a.q[0]
+		a.q = a.q[1:]
+		a.mu.Unlock()
+		a.cond.Broadcast()
+		s.applyFrame(e.cc, e.m)
 	}
 }
 
@@ -516,6 +700,7 @@ type Client struct {
 	fires  []Message
 	result chan Message
 	stats  chan Message
+	status chan Message
 	// OnFire, when set, receives rule firings as they arrive.
 	OnFire func(Message)
 	errCh  chan error
@@ -533,6 +718,7 @@ func Dial(addr string) (*Client, error) {
 		dec:    json.NewDecoder(bufio.NewReader(conn)),
 		result: make(chan Message, 1),
 		stats:  make(chan Message, 1),
+		status: make(chan Message, 1),
 		errCh:  make(chan error, 1),
 	}
 	go c.readLoop()
@@ -546,6 +732,7 @@ func (c *Client) readLoop() {
 			c.errCh <- err
 			close(c.result)
 			close(c.stats)
+			close(c.status)
 			return
 		}
 		switch m.Type {
@@ -567,6 +754,11 @@ func (c *Client) readLoop() {
 		case "stats":
 			select {
 			case c.stats <- m:
+			default:
+			}
+		case "status":
+			select {
+			case c.status <- m:
 			default:
 			}
 		}
@@ -602,6 +794,20 @@ func (c *Client) Query(sql string) ([]string, [][]any, error) {
 		return nil, nil, errors.New(m.Msg)
 	}
 	return m.Columns, m.Rows, nil
+}
+
+// Status asks the server for its overload counters (see the "status"
+// frame): observations/detections applied, shard count, admission-queue
+// depth and shed counter.
+func (c *Client) Status() (Message, error) {
+	if err := c.write(Message{Type: "status"}); err != nil {
+		return Message{}, err
+	}
+	m, ok := <-c.status
+	if !ok {
+		return Message{}, errors.New("wire: connection closed")
+	}
+	return m, nil
 }
 
 // Firings returns the rule firings received so far.
