@@ -27,6 +27,7 @@ import (
 	"rcep/internal/core/event"
 	"rcep/internal/core/graph"
 	"rcep/internal/eca"
+	"rcep/internal/prof"
 	"rcep/internal/rules"
 	"rcep/internal/sim"
 )
@@ -39,7 +40,18 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller sweeps for fast runs")
 	check := fs.Bool("check", false, "hotpath: fail when compiled falls behind interpreted or the committed BENCH_hotpath.json baseline")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file (docs/OPERATIONS.md)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	tracefile := fs.String("trace", "", "write a runtime execution trace to this file")
 	_ = fs.Parse(os.Args[2:])
+
+	stop, err := prof.Start(prof.Options{CPUProfile: *cpuprofile, MemProfile: *memprofile, Trace: *tracefile})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	switch cmd {
 	case "fig4":
@@ -69,9 +81,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|shard|hotpath|graph|all [-quick] [-check]")
+	fmt.Fprintln(os.Stderr, "usage: experiments fig4|fig8|fig9|ablation|shard|hotpath|graph|all [-quick] [-check] [-cpuprofile f] [-memprofile f] [-trace f]")
 	os.Exit(2)
 }
+
+// stopProfiles flushes any active profiles; exit paths that bypass
+// main's defer (the hotpath regression gate) call it before os.Exit so
+// the profile of a failing run — the one worth reading — survives.
+var stopProfiles = func() {}
 
 // hotpathSweep measures the compiled hot path against the interpreted
 // oracle and writes BENCH_hotpath.json. With check set, it exits nonzero
@@ -116,6 +133,7 @@ func hotpathSweep(quick, check bool) {
 	if check {
 		if err := hotpathCheck(rep, baseline, events, nrules); err != nil {
 			fmt.Fprintf(os.Stderr, "hotpath: REGRESSION: %v\n", err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Println("hotpath check: OK")
@@ -129,11 +147,12 @@ func hotpathSweep(quick, check bool) {
 // re-measured (fresh engines, same workload) up to two more times and the
 // gate passes if any attempt does; a real regression fails all three.
 func hotpathCheck(rep, baseline *bench.HotpathReport, events, nrules int) error {
-	var baseEPS float64
+	var baseEPS, baseBatchedEPS float64
 	if baseline.Events == rep.Events && baseline.Rules == rep.Rules {
 		for _, bp := range baseline.Points {
 			if bp.Shards == 1 {
 				baseEPS = bp.Compiled.EPS
+				baseBatchedEPS = bp.Batched.EPS
 			}
 		}
 	} else {
@@ -146,6 +165,11 @@ func hotpathCheck(rep, baseline *bench.HotpathReport, events, nrules int) error 
 		}
 		if baseEPS > 0 && p.Compiled.EPS < baseEPS*0.9 {
 			return fmt.Errorf("compiled single-shard %.0f eps dropped >10%% below the committed baseline's %.0f eps", p.Compiled.EPS, baseEPS)
+		}
+		// Same 10% tolerance on the batched series, once a baseline that
+		// has one is committed (older baselines decode it as zero).
+		if baseBatchedEPS > 0 && p.Batched.EPS < baseBatchedEPS*0.9 {
+			return fmt.Errorf("batched single-shard %.0f eps dropped >10%% below the committed baseline's %.0f eps", p.Batched.EPS, baseBatchedEPS)
 		}
 		return nil
 	}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"rcep"
+	"rcep/internal/prof"
 	"rcep/internal/sim"
 	"rcep/internal/wire"
 )
@@ -72,12 +73,20 @@ func main() {
 		coordCkpt = flag.String("coord-checkpoint", "", "published self-checkpoint path a warm standby adopts at takeover (coordinator role)")
 		partGrace = flag.Duration("partition-grace", 0, "keep a partitioned worker's shard detached (journaling, not re-placed) for this long before handing it off (0 = re-place immediately)")
 		standby   = flag.Bool("standby", false, "run the coordinator as a warm standby: wait for the active's lease to lapse, then adopt -coord-checkpoint")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file, flushed at clean shutdown (docs/OPERATIONS.md)")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at clean shutdown")
+		tracefile = flag.String("trace", "", "write a runtime execution trace to this file, flushed at clean shutdown")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(prof.Options{CPUProfile: *cpuprof, MemProfile: *memprof, Trace: *tracefile})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	script, err := os.ReadFile(*rulesPath)
 	if err != nil {
 		log.Fatal(err)

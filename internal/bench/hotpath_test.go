@@ -221,18 +221,25 @@ func TestHotpathSweepGuard(t *testing.T) {
 		if p.Compiled.StreamHash != p.Interpreted.StreamHash {
 			t.Errorf("shards=%d: hashes diverge in a report that passed the guard", p.Shards)
 		}
+		if p.Batched.StreamHash != p.Interpreted.StreamHash {
+			t.Errorf("shards=%d: batched hash diverges in a report that passed the guard", p.Shards)
+		}
 		if p.Compiled.Detections == 0 {
 			t.Errorf("shards=%d: no detections; sweep is vacuous", p.Shards)
 		}
-		if p.Compiled.EPS <= 0 || p.Interpreted.EPS <= 0 {
+		if p.Compiled.EPS <= 0 || p.Interpreted.EPS <= 0 || p.Batched.EPS <= 0 {
 			t.Errorf("shards=%d: non-positive throughput", p.Shards)
+		}
+		if p.Batched.EngineAllocsPerEv <= 0 {
+			t.Errorf("shards=%d: engine alloc column missing from batched run", p.Shards)
 		}
 	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
-	for _, want := range []string{"stream_hash", "allocs_per_event", "speedup_compiled_vs_interpreted"} {
+	for _, want := range []string{"stream_hash", "allocs_per_event", "engine_allocs_per_event",
+		"batched_compiled", "speedup_compiled_vs_interpreted", "speedup_batched_vs_interpreted"} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("JSON report missing %q field", want)
 		}

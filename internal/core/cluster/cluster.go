@@ -188,6 +188,7 @@ type Coordinator struct {
 	epoch     []int
 	down      []bool
 	journal   [][]jentry
+	obsPend   [][]wire.BatchObs // per-shard observations journaled but not yet shipped (sealed into one batch frame)
 	jbase     []int             // absolute stream index of journal[s][0] (0 = journal reaches stream start)
 	ckStart   []int             // journal index the last confirmed checkpoint covers up to
 	lastCk    []json.RawMessage // last confirmed worker checkpoint per shard
@@ -285,6 +286,7 @@ func New(cfg Config) (*Coordinator, error) {
 		epoch:       make([]int, n),
 		down:        make([]bool, len(cfg.Workers)),
 		journal:     make([][]jentry, n),
+		obsPend:     make([][]wire.BatchObs, n),
 		jbase:       make([]int, n),
 		ckStart:     make([]int, n),
 		lastCk:      make([]json.RawMessage, n),
@@ -409,6 +411,10 @@ func (c *Coordinator) startLinkLocked(s, wkr int, useCk bool) error {
 		box.mu.Unlock()
 		box.ping()
 	}
+	// Anything pending for this shard is already journaled, so the
+	// replay below re-sends it on the fresh link; shipping it again as
+	// a batch frame would double-apply it under the new link's seqs.
+	c.obsPend[s] = nil
 	replay := c.journal[s]
 	if useCk {
 		replay = replay[c.ckStart[s]:]
@@ -539,16 +545,47 @@ func (c *Coordinator) ingestLocked(o event.Observation) error {
 	}
 	c.now = o.At
 	c.ingested++
-	m := wire.Message{Type: "obs", Reader: o.Reader, Object: o.Object, AtNS: int64(o.At)}
 	for _, s := range c.router.ShardsFor(o.Reader) {
 		c.journal[s] = append(c.journal[s], jentry{reader: o.Reader, object: o.Object, at: o.At})
-		c.sendShardLocked(s, m)
+		c.obsPend[s] = append(c.obsPend[s], wire.BatchObs{Reader: o.Reader, Object: o.Object, AtNS: int64(o.At)})
+		if len(c.obsPend[s]) >= maxShipBatch {
+			c.sealObsLocked(s)
+		}
 	}
 	c.sinceSync++
 	if c.sinceSync >= c.cfg.SyncEvery {
 		return c.barrierLocked(false, false, false)
 	}
 	return nil
+}
+
+// maxShipBatch caps how many observations ride one coordinator→worker
+// batch frame. The barrier cadence (SyncEvery) usually seals first;
+// this bound keeps a single frame's JSON body small enough that a slow
+// link never stalls behind one giant write.
+const maxShipBatch = 256
+
+// sealObsLocked ships shard s's pending observations as one sequenced
+// batch frame — the amortization that makes the coordinator's fan-out
+// cost one link write per read cycle instead of one per observation.
+// A lone pending observation goes as a plain obs frame (same bytes the
+// journal replay path emits). The pending slice is handed to the wire
+// layer, which marshals it asynchronously, so it is released rather
+// than recycled. Must run before any non-obs frame is sent on the
+// shard's link: a sync or advance overtaking unsent observations would
+// move the worker's clock past them and poison the feed with
+// out-of-order errors.
+func (c *Coordinator) sealObsLocked(s int) {
+	pend := c.obsPend[s]
+	if len(pend) == 0 {
+		return
+	}
+	c.obsPend[s] = nil
+	if len(pend) == 1 {
+		c.sendShardLocked(s, wire.Message{Type: "obs", Reader: pend[0].Reader, Object: pend[0].Object, AtNS: pend[0].AtNS})
+		return
+	}
+	c.sendShardLocked(s, wire.Message{Type: "batch", Batch: pend})
 }
 
 // sendShardLocked routes one journaled frame to a shard's current link.
@@ -598,6 +635,7 @@ func (c *Coordinator) AdvanceTo(t event.Time) error {
 	m := wire.Message{Type: "advance", AtNS: int64(t)}
 	for s := range c.links {
 		c.journal[s] = append(c.journal[s], jentry{adv: true, at: t})
+		c.sealObsLocked(s) // pending observations precede the advance on this link
 		c.sendShardLocked(s, m)
 	}
 	c.sinceSync++
@@ -817,6 +855,7 @@ func (c *Coordinator) clearDetachLocked(s int) {
 // barrierAttemptLocked sends sync (or drain) — plus ckpt when due — to
 // the shard's current placement and waits for the replies.
 func (c *Coordinator) barrierAttemptLocked(s int, ckpt, drain bool) ([]wire.ClusterDet, error) {
+	c.sealObsLocked(s) // the sync frame must not overtake unsent observations
 	lk := c.links[s]
 	deadline := time.Now().Add(c.cfg.BarrierTimeout)
 	typ := "sync"

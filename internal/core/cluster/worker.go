@@ -242,7 +242,7 @@ func (w *Worker) handle(conn net.Conn) {
 			w.mu.Unlock()
 			reply(wire.Message{Type: "stats", Observations: obs, Detections: dets})
 			return
-		case "assign", "obs", "advance", "sync", "ckpt", "drain":
+		case "assign", "obs", "batch", "advance", "sync", "ckpt", "drain":
 			if !w.sequenced(m, reply) {
 				return
 			}
@@ -324,6 +324,21 @@ func (w *Worker) sequenced(m wire.Message, reply func(wire.Message)) bool {
 		f.obs++
 		o := event.Observation{Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS)}
 		if err := f.eng.Ingest(o); err != nil {
+			reply(wire.Message{Type: "error", Shard: f.shard, Seq: m.Seq, Msg: err.Error()})
+		}
+	case "batch":
+		// One coordinator fan-out cycle in one frame: unpack into a
+		// pooled batch and take the engine's batched fast path. The
+		// engine does not retain the slice, so it goes straight back to
+		// the pool.
+		f.obs += uint64(len(m.Batch))
+		b := event.GetBatch()
+		for _, bo := range m.Batch {
+			b = append(b, event.Observation{Reader: bo.Reader, Object: bo.Object, At: event.Time(bo.AtNS)})
+		}
+		err := f.eng.IngestBatch(b)
+		event.PutBatch(b)
+		if err != nil {
 			reply(wire.Message{Type: "error", Shard: f.shard, Seq: m.Seq, Msg: err.Error()})
 		}
 	case "advance":

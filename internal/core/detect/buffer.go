@@ -18,11 +18,17 @@ import (
 // buffer holds pending instances of one side of a binary constructor,
 // optionally partitioned by the constructor's join variables so candidate
 // lookups touch only binding-compatible instances.
+//
+// Partitions are held behind pointers and looked up with a reused key
+// buffer: the common operations (lookup-and-append, scan) then compile to
+// allocation-free map accesses — a key string is materialized only when a
+// partition is first created.
 type buffer struct {
 	joinVars []string
-	parts    map[string][]*event.Instance // partitioned on join projection
-	flat     []*event.Instance            // used when joinVars is empty
+	parts    map[string]*partition // partitioned on join projection
+	flat     []*event.Instance     // used when joinVars is empty
 	size     int
+	keyBuf   []byte // reused projection-key scratch
 
 	// cap bounds each partition (0 = unbounded); dropped counts evicted
 	// oldest instances.
@@ -30,12 +36,30 @@ type buffer struct {
 	dropped *uint64
 }
 
+// partition is one join-key bucket of a partitioned buffer.
+type partition struct {
+	items []*event.Instance
+}
+
 func newBuffer(joinVars []string) *buffer {
 	b := &buffer{joinVars: joinVars}
 	if len(joinVars) > 0 {
-		b.parts = make(map[string][]*event.Instance)
+		b.parts = make(map[string]*partition)
 	}
 	return b
+}
+
+// part returns the partition for an instance's join projection, creating
+// it when create is set. The projection key lives in b.keyBuf until the
+// next buffer operation.
+func (b *buffer) part(binds event.Bindings, create bool) *partition {
+	b.keyBuf = binds.AppendProject(b.keyBuf[:0], b.joinVars)
+	p := b.parts[string(b.keyBuf)]
+	if p == nil && create {
+		p = &partition{}
+		b.parts[string(b.keyBuf)] = p
+	}
+	return p
 }
 
 // add appends an instance to its partition, evicting the oldest entry
@@ -53,16 +77,15 @@ func (b *buffer) add(in *event.Instance) {
 		}
 		return
 	}
-	k, _ := in.Binds.Project(b.joinVars)
-	part := append(b.parts[k], in)
-	if b.cap > 0 && len(part) > b.cap {
-		part = part[1:]
+	p := b.part(in.Binds, true)
+	p.items = append(p.items, in)
+	if b.cap > 0 && len(p.items) > b.cap {
+		p.items = p.items[1:]
 		b.size--
 		if b.dropped != nil {
 			*b.dropped++
 		}
 	}
-	b.parts[k] = part
 }
 
 // replaceAll empties the instance's partition and stores only it (the
@@ -73,30 +96,26 @@ func (b *buffer) replaceAll(in *event.Instance) {
 		b.flat = append(b.flat[:0], in)
 		return
 	}
-	k, _ := in.Binds.Project(b.joinVars)
-	b.size -= len(b.parts[k])
+	p := b.part(in.Binds, true)
+	b.size -= len(p.items)
 	b.size++
-	b.parts[k] = append(b.parts[k][:0], in)
+	p.items = append(p.items[:0], in)
 }
 
 // scan visits the partition compatible with binds in arrival order. The
 // visitor returns keep (retain the instance in the buffer) and cont
 // (continue scanning). Instances the visitor drops are removed. With join
 // variables, only the matching partition is visited; without them every
-// instance is binding-compatible by construction.
+// instance is binding-compatible by construction. Emptied partitions stay
+// in the map (cleared, sliver-sized) and are reused on the next add for
+// the same key.
 func (b *buffer) scan(binds event.Bindings, visit func(*event.Instance) (keep, cont bool)) {
 	if b.parts != nil {
-		k, _ := binds.Project(b.joinVars)
-		s, ok := b.parts[k]
-		if !ok {
+		p := b.part(binds, false)
+		if p == nil {
 			return
 		}
-		b.scanSlice(&s, visit)
-		if len(s) == 0 {
-			delete(b.parts, k)
-		} else {
-			b.parts[k] = s
-		}
+		b.scanSlice(&p.items, visit)
 		return
 	}
 	b.scanSlice(&b.flat, visit)
@@ -124,7 +143,8 @@ func (b *buffer) scanSlice(s *[]*event.Instance, visit func(*event.Instance) (ke
 }
 
 // purge removes every instance for which drop returns true, across all
-// partitions.
+// partitions. Partitions left empty are released here — the only place
+// the map shrinks, keeping the hot scan path free of map writes.
 func (b *buffer) purge(drop func(*event.Instance) bool) {
 	if b.parts == nil {
 		out := b.flat[:0]
@@ -138,19 +158,18 @@ func (b *buffer) purge(drop func(*event.Instance) bool) {
 		b.flat = out
 		return
 	}
-	for k, s := range b.parts {
-		out := s[:0]
-		for _, in := range s {
+	for k, p := range b.parts {
+		out := p.items[:0]
+		for _, in := range p.items {
 			if drop(in) {
 				b.size--
 			} else {
 				out = append(out, in)
 			}
 		}
+		p.items = out
 		if len(out) == 0 {
 			delete(b.parts, k)
-		} else {
-			b.parts[k] = out
 		}
 	}
 }
@@ -165,8 +184,8 @@ func (b *buffer) all() []*event.Instance {
 	if b.parts == nil {
 		out = append(out, b.flat...)
 	} else {
-		for _, s := range b.parts {
-			out = append(out, s...)
+		for _, p := range b.parts {
+			out = append(out, p.items...)
 		}
 	}
 	sortInstancesBySeq(out)

@@ -40,11 +40,19 @@ const (
 // left-hand side is always a string attribute — equal strings compare
 // equal in every ParseScalar interpretation, and mixed kinds fall back to
 // string comparison (see matchPrim).
+//
+// memo caches the verdict per argument symbol (0 unknown, 1 pass,
+// 2 fail): a predicate's outcome is a pure function of its argument
+// string — group and type maps are deployment constants (paper §2.1) and
+// val is a rule literal — so after the first evaluation for a given
+// symbol the hot path never touches strings again. The cache grows with
+// the intern table, one byte per symbol per predicate.
 type predPlan struct {
 	kind uint8
 	src  uint8
 	op   event.CmpOp
 	val  string
+	memo []uint8
 }
 
 // bindSlot is one slot of a pre-sorted binding template.
@@ -157,10 +165,16 @@ func compilePredArg(p *event.Prim, arg string) (uint8, bool) {
 // order the interpreted engine probes, indexed or not — graph.Prims is
 // ID-ordered). Readers interned after construction fall back to
 // wildPlans, the patterns with variable or anonymous reader positions.
+// Dead plans — patterns the interpreted matcher would reject on every
+// observation — are elided from the tables entirely: neither path ever
+// matches them, so skipping them cannot shift Seq numbering.
 func (e *Engine) buildPlans() {
 	byLit := map[event.Symbol][]*primPlan{}
 	for _, p := range e.g.Prims {
 		pl := compilePrim(p, e.intern)
+		if pl.dead {
+			continue
+		}
 		pl.guard = e.states[p.ID].guard
 		if pl.readerLit {
 			byLit[pl.readerSym] = append(byLit[pl.readerSym], pl)
@@ -182,10 +196,11 @@ func (e *Engine) buildPlans() {
 // ingestCompiled dispatches one observation through the compiled plans.
 // It mirrors the interpreted loop in Ingest/matchAndEmit exactly —
 // including Seq numbering — but compares interned symbols and fills
-// pre-sorted binding templates.
-func (e *Engine) ingestCompiled(obs event.Observation) {
-	rsym := e.intern.Intern(obs.Reader)
-	osym := e.intern.Intern(obs.Object)
+// pre-sorted binding templates. The observation is passed by pointer so
+// the dispatch loop never copies the struct.
+func (e *Engine) ingestCompiled(obs *event.Observation) {
+	rsym := e.symOf(obs.Reader)
+	osym := e.symOf(obs.Object)
 	plans := e.wildPlans
 	if int(rsym) < len(e.dispatch) {
 		plans = e.dispatch[rsym]
@@ -196,16 +211,13 @@ func (e *Engine) ingestCompiled(obs event.Observation) {
 			continue
 		}
 		e.m.PrimMatches++
-		inst := &event.Instance{Begin: obs.At, End: obs.At, Binds: binds, Seq: e.nextSeq()}
+		inst := e.newInstance(obs.At, obs.At, binds, e.nextSeq())
 		e.emit(pl.node, inst)
 	}
 }
 
 // matchPlan matches one observation against a compiled pattern.
-func (e *Engine) matchPlan(pl *primPlan, obs event.Observation, rsym, osym event.Symbol) (event.Bindings, bool) {
-	if pl.dead {
-		return nil, false
-	}
+func (e *Engine) matchPlan(pl *primPlan, obs *event.Observation, rsym, osym event.Symbol) (event.Bindings, bool) {
 	if pl.readerLit && pl.readerSym != rsym {
 		return nil, false
 	}
@@ -221,32 +233,42 @@ func (e *Engine) matchPlan(pl *primPlan, obs event.Observation, rsym, osym event
 		} else {
 			arg, argSym = obs.Object, osym
 		}
+		if int(argSym) < len(pp.memo) {
+			switch pp.memo[argSym] {
+			case 1:
+				continue
+			case 2:
+				return nil, false
+			}
+		}
+		pass := false
 		switch pp.kind {
 		case predGroup:
-			matched := false
 			for _, g := range e.groupsOfSym(argSym, arg) {
 				if pp.op.Eval(compareStr(g, pp.val)) {
-					matched = true
+					pass = true
 					break
 				}
 			}
-			if !matched {
-				return nil, false
-			}
 		case predType:
-			if !pp.op.Eval(compareStr(e.typeOfSym(argSym, arg), pp.val)) {
-				return nil, false
-			}
+			pass = pp.op.Eval(compareStr(e.typeOfSym(argSym, arg), pp.val))
 		default:
-			if !pp.op.Eval(compareStr(arg, pp.val)) {
-				return nil, false
-			}
+			pass = pp.op.Eval(compareStr(arg, pp.val))
+		}
+		if i := int(argSym); i >= len(pp.memo) {
+			pp.memo = append(pp.memo, make([]uint8, i+1-len(pp.memo))...)
+		}
+		if pass {
+			pp.memo[argSym] = 1
+		} else {
+			pp.memo[argSym] = 2
+			return nil, false
 		}
 	}
 	if len(pl.binds) == 0 {
 		return nil, pl.guard == nil || e.guardPass(pl.guard, event.BindsLookup(nil), nil)
 	}
-	binds := make(event.Bindings, len(pl.binds))
+	binds := e.allocBinds(len(pl.binds))
 	for i, s := range pl.binds {
 		switch s.src {
 		case srcReader:

@@ -134,6 +134,109 @@ type Engine struct {
 	typeSet     []bool
 	filterPool  []event.Bindings
 	psPool      []*pseudoEvent
+
+	// symCache is an engine-local (lock-free) mirror of the shared intern
+	// table: the engine is single-goroutine, so hot-path symbol lookups
+	// skip the Interner's RWMutex entirely. Symbols never change once
+	// assigned, so the mirror can only ever agree with the shared table.
+	symCache map[string]event.Symbol
+
+	// instSlab and bindSlab are the hot-path arenas (DESIGN.md §12):
+	// instances and binding arrays are carved out of large slabs instead
+	// of malloc'd one by one. Delivered instances are never recycled —
+	// a slab is abandoned (kept alive by its outstanding pointers, then
+	// collected with them) once full, which preserves the no-aliasing
+	// contract of TestPooledNoAliasingIntoDetections while cutting the
+	// allocation count by the slab size.
+	instSlab []event.Instance
+	bindSlab []event.Binding
+
+	// batchScratch is the engine-owned sort buffer for IngestBatch, so an
+	// unsorted batch costs no allocation after the first.
+	batchScratch []event.Observation
+}
+
+// Arena slab sizes: one malloc amortized over this many objects.
+const (
+	instSlabSize = 256
+	bindSlabSize = 1024
+)
+
+// newInstance allocates an event instance — slab-carved on the compiled
+// path, plain on the interpreted oracle.
+func (e *Engine) newInstance(begin, end event.Time, binds event.Bindings, seq uint64) *event.Instance {
+	if !e.compiled {
+		return &event.Instance{Begin: begin, End: end, Binds: binds, Seq: seq}
+	}
+	if len(e.instSlab) == cap(e.instSlab) {
+		e.instSlab = make([]event.Instance, 0, instSlabSize)
+	}
+	e.instSlab = append(e.instSlab, event.Instance{Begin: begin, End: end, Binds: binds, Seq: seq})
+	return &e.instSlab[len(e.instSlab)-1]
+}
+
+// allocBinds carves a length-n bindings array out of the bindings slab.
+// The returned slice has cap == n, so append-style growth relocates off
+// the slab instead of clobbering a neighbour.
+func (e *Engine) allocBinds(n int) event.Bindings {
+	if !e.compiled {
+		return make(event.Bindings, n)
+	}
+	if cap(e.bindSlab)-len(e.bindSlab) < n {
+		size := bindSlabSize
+		if n > size {
+			size = n
+		}
+		e.bindSlab = make([]event.Binding, 0, size)
+	}
+	off := len(e.bindSlab)
+	e.bindSlab = e.bindSlab[:off+n]
+	return event.Bindings(e.bindSlab[off : off+n : off+n])
+}
+
+// mergeBinds is Bindings.Merge allocating its result from the slab on the
+// compiled path; byte-for-byte the same result either way.
+func (e *Engine) mergeBinds(b, o event.Bindings) event.Bindings {
+	if !e.compiled {
+		return b.Merge(o)
+	}
+	if len(b) == 0 && len(o) == 0 {
+		return nil
+	}
+	m := e.allocBinds(len(b) + len(o))[:0]
+	i, j := 0, 0
+	for i < len(b) || j < len(o) {
+		switch {
+		case j >= len(o):
+			m = append(m, b[i])
+			i++
+		case i >= len(b):
+			m = append(m, o[j])
+			j++
+		case b[i].Var < o[j].Var:
+			m = append(m, b[i])
+			i++
+		case b[i].Var > o[j].Var:
+			m = append(m, o[j])
+			j++
+		default:
+			m = append(m, o[j])
+			i++
+			j++
+		}
+	}
+	return m
+}
+
+// symOf interns through the engine-local cache, avoiding the shared
+// table's lock on every hit.
+func (e *Engine) symOf(s string) event.Symbol {
+	if sym, ok := e.symCache[s]; ok {
+		return sym
+	}
+	sym := e.intern.Intern(s)
+	e.symCache[s] = sym
+	return sym
 }
 
 // nodeState is the per-node runtime state.
@@ -147,8 +250,11 @@ type nodeState struct {
 	// hist logs this node's occurrences for window queries.
 	hist *history
 
-	// open is the current open sequence of an eager SEQ+/TSEQ+ node.
-	open *openSeq
+	// open is the current open sequence of an eager SEQ+/TSEQ+ node;
+	// spare recycles the previous run's struct and element arrays once it
+	// closes (closeOpen), so steady-state runs allocate nothing.
+	open  *openSeq
+	spare *openSeq
 
 	// guard is the node's WHERE predicate runtime (guardplan.go); nil
 	// for unguarded nodes.
@@ -290,6 +396,7 @@ func New(cfg Config) (*Engine, error) {
 		if e.intern == nil {
 			e.intern = event.NewInterner()
 		}
+		e.symCache = make(map[string]event.Symbol, 256)
 		e.buildPlans()
 	}
 	return e, nil
@@ -341,7 +448,7 @@ func (e *Engine) Ingest(obs event.Observation) error {
 	e.now = obs.At
 	e.m.Observations++
 	if e.compiled {
-		e.ingestCompiled(obs)
+		e.ingestCompiled(&obs)
 		return nil
 	}
 	if e.primIndex != nil {
@@ -377,32 +484,69 @@ func (e *Engine) matchAndEmit(prim *graph.Node, obs event.Observation) {
 		return
 	}
 	e.m.PrimMatches++
-	inst := &event.Instance{Begin: obs.At, End: obs.At, Binds: binds, Seq: e.nextSeq()}
+	inst := e.newInstance(obs.At, obs.At, binds, e.nextSeq())
 	e.emit(prim, inst)
 }
 
-// IngestBatch stably sorts a copy of the batch by timestamp and feeds it.
-// The call is atomic with respect to ordering failures: if the earliest
-// observation in the batch precedes the engine's current time, IngestBatch
-// returns ErrOutOfOrder and NO observation is applied. (Ingest can fail
-// only on ordering, and every later observation in the sorted batch is ≥
-// the first, so a mid-batch failure is impossible — the historical
-// "applied prefix" state cannot occur.)
+// IngestBatch feeds a whole batch in timestamp order. The call is atomic
+// with respect to ordering failures: if the earliest observation in the
+// batch precedes the engine's current time, IngestBatch returns
+// ErrOutOfOrder and NO observation is applied. (Ingest can fail only on
+// ordering, and every later observation in the sorted batch is ≥ the
+// first, so a mid-batch failure is impossible — the historical "applied
+// prefix" state cannot occur.)
+//
+// This is the batch fast path of DESIGN.md §12: an already-sorted batch
+// (the normal case — read cycles arrive in order) is consumed in place
+// with no copy; an unsorted one is stably sorted into an engine-owned
+// scratch buffer, never mutating the caller's slice. On the compiled path
+// the per-event entry overhead (pseudo-queue probe, clock store, dispatch)
+// is inlined into one loop, so the batch costs one function call plus the
+// per-observation matching work.
 func (e *Engine) IngestBatch(batch []event.Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	sorted := append([]event.Observation(nil), batch...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	sorted := batch
+	if !sortedByAt(batch) {
+		e.batchScratch = append(e.batchScratch[:0], batch...)
+		sorted = e.batchScratch
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	}
 	if e.now != event.MinTime && sorted[0].At < e.now {
 		return fmt.Errorf("%w: batch starts at %s, engine at %s", ErrOutOfOrder, sorted[0].At, e.now)
 	}
-	for _, o := range sorted {
-		if err := e.Ingest(o); err != nil {
-			return err
+	if !e.compiled {
+		for _, o := range sorted {
+			if err := e.Ingest(o); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	e.m.Observations += uint64(len(sorted))
+	for i := range sorted {
+		o := &sorted[i]
+		// Identical to Ingest's preamble, amortized: the pseudo queue is
+		// probed only when non-empty, and the clock stores monotonically.
+		if len(e.pq) > 0 && e.pq[0].exec < o.At {
+			e.drainPseudo(o.At, true)
+		}
+		e.now = o.At
+		e.ingestCompiled(o)
 	}
 	return nil
+}
+
+// sortedByAt reports whether the batch is already in non-decreasing
+// timestamp order.
+func sortedByAt(batch []event.Observation) bool {
+	for i := 1; i < len(batch); i++ {
+		if batch[i].At < batch[i-1].At {
+			return false
+		}
+	}
+	return true
 }
 
 // AdvanceTo moves virtual time forward to t with no intervening

@@ -39,7 +39,7 @@ func (e *Engine) deliver(p *graph.Node, from *graph.Node, inst *event.Instance) 
 		if !e.guardPassBinds(p, inst.Binds) {
 			return
 		}
-		e.emit(p, &event.Instance{Begin: inst.Begin, End: inst.End, Binds: inst.Binds, Seq: e.nextSeq()})
+		e.emit(p, e.newInstance(inst.Begin, inst.End, inst.Binds, e.nextSeq()))
 	case graph.KindNot:
 		// Occurrences of the negated child are visible through its
 		// history; the NOT node itself never emits spontaneously.
@@ -164,10 +164,7 @@ func (e *Engine) seqDeliver(p *graph.Node, from *graph.Node, inst *event.Instanc
 		if hit {
 			return
 		}
-		e.emit(p, &event.Instance{
-			Begin: a, End: inst.End,
-			Binds: inst.Binds, Seq: e.nextSeq(),
-		})
+		e.emit(p, e.newInstance(a, inst.End, inst.Binds, e.nextSeq()))
 		return
 	}
 	if p.Left() == p.Right() {
@@ -207,6 +204,9 @@ func (e *Engine) pair(p *graph.Node, st *nodeState, inst *event.Instance, mine, 
 	}
 	cond := e.pairCond(p, inst, arrivedRight)
 
+	// Chronicle and recent contexts match at most one candidate, so they
+	// track it in a scalar instead of growing a slice per pairing.
+	var single *event.Instance
 	var matches []*event.Instance
 	switch e.ctx {
 	case pctx.Chronicle:
@@ -215,25 +215,21 @@ func (e *Engine) pair(p *graph.Node, st *nodeState, inst *event.Instance, mine, 
 				return false, true
 			}
 			if cond(c) {
-				matches = append(matches, c)
+				single = c
 				return false, false // consume, stop
 			}
 			return true, true
 		})
 	case pctx.Recent:
-		var best *event.Instance
 		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
 			if e.expired(p, c, inst, arrivedRight) {
 				return false, true
 			}
-			if cond(c) && (best == nil || c.Seq > best.Seq) {
-				best = c
+			if cond(c) && (single == nil || c.Seq > single.Seq) {
+				single = c
 			}
 			return true, true
 		})
-		if best != nil {
-			matches = append(matches, best)
-		}
 	case pctx.Continuous, pctx.Cumulative:
 		other.scan(inst.Binds, func(c *event.Instance) (bool, bool) {
 			if e.expired(p, c, inst, arrivedRight) {
@@ -258,6 +254,11 @@ func (e *Engine) pair(p *graph.Node, st *nodeState, inst *event.Instance, mine, 
 	}
 
 	switch {
+	case single != nil:
+		e.emit(p, e.combine(p, single, inst))
+		if e.ctx == pctx.Recent && mine != nil {
+			mine.replaceAll(inst)
+		}
 	case len(matches) == 0:
 		if mine != nil {
 			if e.ctx == pctx.Recent {
@@ -350,7 +351,7 @@ func (e *Engine) expired(p *graph.Node, c, inst *event.Instance, arrivedRight bo
 // and the arriving instance.
 func (e *Engine) combine(p *graph.Node, c, inst *event.Instance) *event.Instance {
 	begin, end := event.SpanWith(c, inst)
-	return &event.Instance{Begin: begin, End: end, Binds: c.Binds.Merge(inst.Binds), Seq: e.nextSeq()}
+	return e.newInstance(begin, end, e.mergeBinds(c.Binds, inst.Binds), e.nextSeq())
 }
 
 // seqPullInitiator handles TSEQ/SEQ whose initiator is a pulled (queried)
@@ -409,7 +410,13 @@ func (e *Engine) seqPlusDeliver(n *graph.Node, inst *event.Instance) {
 		}
 	}
 	if st.open == nil {
-		st.open = &openSeq{begin: inst.Begin, version: e.nextSeq()}
+		if sp := st.spare; sp != nil {
+			st.spare = nil
+			sp.begin, sp.version = inst.Begin, e.nextSeq()
+			st.open = sp
+		} else {
+			st.open = &openSeq{begin: inst.Begin, version: e.nextSeq()}
+		}
 	}
 	st.open.elems = append(st.open.elems, inst.Binds)
 	st.open.starts = append(st.open.starts, inst.Begin)
@@ -443,16 +450,21 @@ func (e *Engine) closeOpen(n *graph.Node, st *nodeState) {
 	if st.open == nil {
 		return
 	}
-	inst := &event.Instance{
-		Begin: st.open.begin, End: st.open.last,
-		Binds: event.CollectLists(st.open.elems), Seq: e.nextSeq(),
-	}
-	accs := st.open.accs
+	rec := st.open
+	inst := e.newInstance(rec.begin, rec.last, event.CollectLists(rec.elems), e.nextSeq())
+	accs := rec.accs
 	st.open = nil
 	// The guard sees the run's running accumulators (compiled path) or
 	// folds the collected lists (interpreted oracle); the Seq number is
 	// consumed either way so both paths stay aligned.
-	if st.guard != nil && !e.guardPass(st.guard, event.BindsLookup(inst.Binds), accs) {
+	pass := st.guard == nil || e.guardPass(st.guard, event.BindsLookup(inst.Binds), accs)
+	// CollectLists copied the element values out and the emitted instance
+	// owns its own bindings, so the run's struct and arrays recycle for
+	// the node's next open sequence.
+	clear(rec.elems)
+	*rec = openSeq{elems: rec.elems[:0], starts: rec.starts[:0]}
+	st.spare = rec
+	if !pass {
 		return
 	}
 	if n.Pseudo {
@@ -532,7 +544,7 @@ func (e *Engine) querySeqPlus(n *graph.Node, w0, w1 event.Time, filter event.Bin
 	// The Seq number is consumed before the guards so both execution
 	// modes number later instances identically even when the run is
 	// rejected.
-	seqInst := &event.Instance{Begin: begin, End: end, Binds: event.CollectLists(elems), Seq: e.nextSeq()}
+	seqInst := e.newInstance(begin, end, event.CollectLists(elems), e.nextSeq())
 	if st.guard != nil && !e.guardPass(st.guard, event.BindsLookup(seqInst.Binds), nil) {
 		return nil
 	}
@@ -575,10 +587,7 @@ func (e *Engine) fire(ps *pseudoEvent) {
 		if hit {
 			return
 		}
-		e.emit(p, &event.Instance{
-			Begin: ps.payload.Begin, End: ps.w1,
-			Binds: ps.payload.Binds, Seq: e.nextSeq(),
-		})
+		e.emit(p, e.newInstance(ps.payload.Begin, ps.w1, ps.payload.Binds, e.nextSeq()))
 	case graph.PseudoSeqNotTerm:
 		p := ps.node
 		neg := p.Right().Child()
@@ -588,10 +597,7 @@ func (e *Engine) fire(ps *pseudoEvent) {
 		if hit {
 			return
 		}
-		e.emit(p, &event.Instance{
-			Begin: ps.payload.Begin, End: ps.w1,
-			Binds: ps.payload.Binds, Seq: e.nextSeq(),
-		})
+		e.emit(p, e.newInstance(ps.payload.Begin, ps.w1, ps.payload.Binds, e.nextSeq()))
 	case graph.PseudoSeqPlusClose:
 		st := e.states[ps.node.ID]
 		if st.open != nil && st.open.version == ps.version {

@@ -8,6 +8,7 @@ package event
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 )
 
@@ -61,6 +62,18 @@ func (t Time) String() string {
 		return "+inf"
 	}
 	return fmt.Sprintf("%.3fs", float64(t)/float64(time.Second))
+}
+
+// AppendText appends String()'s rendering to dst without allocating.
+func (t Time) AppendText(dst []byte) []byte {
+	switch t {
+	case MinTime:
+		return append(dst, "-inf"...)
+	case MaxTime:
+		return append(dst, "+inf"...)
+	}
+	dst = strconv.AppendFloat(dst, float64(t)/float64(time.Second), 'f', 3, 64)
+	return append(dst, 's')
 }
 
 // Observation is the sole primitive event in the model: reader r observed

@@ -219,6 +219,37 @@ func (v Value) String() string {
 	return "?"
 }
 
+// AppendText appends String()'s rendering to dst without allocating
+// (except for dst growth). The hot paths — buffer partition keys, bench
+// detection-stream hashing — fold values into reused byte buffers through
+// it instead of materializing strings.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, "null"...)
+	case KindString:
+		return append(dst, v.s...)
+	case KindInt:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.AppendBool(dst, v.b)
+	case KindTime:
+		return v.t.AppendText(dst)
+	case KindList:
+		dst = append(dst, '[')
+		for i, e := range v.list {
+			if i > 0 {
+				dst = append(dst, ", "...)
+			}
+			dst = e.AppendText(dst)
+		}
+		return append(dst, ']')
+	}
+	return append(dst, '?')
+}
+
 // Binding is one variable→value pair in a Bindings set.
 type Binding struct {
 	Var string
@@ -357,13 +388,19 @@ func (b Bindings) Project(keys []string) (string, bool) {
 	if len(keys) == 0 {
 		return "", false
 	}
-	var sb strings.Builder
+	return string(b.AppendProject(nil, keys)), true
+}
+
+// AppendProject appends Project's key form to dst — the same bytes, but
+// into a caller-reused buffer so hot-path partition lookups allocate
+// nothing.
+func (b Bindings) AppendProject(dst []byte, keys []string) []byte {
 	for _, k := range keys {
 		v, _ := b.Get(k)
-		sb.WriteString(v.String())
-		sb.WriteByte('\x00')
+		dst = v.AppendText(dst)
+		dst = append(dst, '\x00')
 	}
-	return sb.String(), true
+	return dst
 }
 
 // Vars returns the sorted variable names bound in b.
@@ -380,11 +417,24 @@ func (b Bindings) String() string {
 	if len(b) == 0 {
 		return "{}"
 	}
-	parts := make([]string, len(b))
-	for i, kv := range b {
-		parts[i] = kv.Var + "=" + kv.Val.String()
+	return string(b.AppendText(nil))
+}
+
+// AppendText appends String()'s rendering to dst without allocating.
+func (b Bindings) AppendText(dst []byte) []byte {
+	if len(b) == 0 {
+		return append(dst, "{}"...)
 	}
-	return "{" + strings.Join(parts, " ") + "}"
+	dst = append(dst, '{')
+	for i, kv := range b {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, kv.Var...)
+		dst = append(dst, '=')
+		dst = kv.Val.AppendText(dst)
+	}
+	return append(dst, '}')
 }
 
 // CollectLists merges a sequence of element bindings into list bindings:
@@ -395,17 +445,20 @@ func CollectLists(elems []Bindings) Bindings {
 	if len(elems) == 0 {
 		return nil
 	}
-	seen := map[string]bool{}
+	// Elements bind few variables; a sorted-insert slice beats a map both
+	// in allocations and in the final sort it makes redundant.
 	var keys []string
 	for _, e := range elems {
 		for _, kv := range e {
-			if !seen[kv.Var] {
-				seen[kv.Var] = true
-				keys = append(keys, kv.Var)
+			i := sort.SearchStrings(keys, kv.Var)
+			if i < len(keys) && keys[i] == kv.Var {
+				continue
 			}
+			keys = append(keys, "")
+			copy(keys[i+1:], keys[i:])
+			keys[i] = kv.Var
 		}
 	}
-	sort.Strings(keys)
 	out := make(Bindings, 0, len(keys))
 	for _, k := range keys {
 		vals := make([]Value, len(elems))

@@ -67,19 +67,21 @@ type Config struct {
 type opKind uint8
 
 const (
-	opObs     opKind = iota // deliver an observation to the shard engine
-	opAdvance               // AdvanceTo with no observation
-	opCatchUp               // AdvanceBefore: barrier pre-advance to the router's clock
-	opDrain                 // detect.Engine.Close: fire all pending pseudo events
-	opBarrier               // ack and quiesce until the next batch
+	opObs      opKind = iota // deliver an observation to the shard engine
+	opObsBatch               // deliver a routed observation sub-batch (pooled)
+	opAdvance                // AdvanceTo with no observation
+	opCatchUp                // AdvanceBefore: barrier pre-advance to the router's clock
+	opDrain                  // detect.Engine.Close: fire all pending pseudo events
+	opBarrier                // ack and quiesce until the next batch
 )
 
 // envelope is one unit of work shipped to a shard worker.
 type envelope struct {
-	op  opKind
-	obs event.Observation
-	at  event.Time
-	ack *sync.WaitGroup
+	op    opKind
+	obs   event.Observation
+	batch event.Batch // opObsBatch payload; worker recycles it after ingest
+	at    event.Time
+	ack   *sync.WaitGroup
 }
 
 // detRec is one detection captured on a worker, tagged for merging. fire
@@ -120,6 +122,16 @@ func (w *worker) loop() {
 						w.err = fmt.Errorf("shard %d: %w", w.id, err)
 					}
 				}
+			case opObsBatch:
+				// The router routed and ordered the sub-batch; the engine's
+				// batch fast path consumes it in place, then the backing
+				// array recycles for the router's next fan-out.
+				if w.err == nil {
+					if err := w.eng.IngestBatch(env.batch); err != nil {
+						w.err = fmt.Errorf("shard %d: %w", w.id, err)
+					}
+				}
+				event.PutBatch(env.batch)
 			case opAdvance:
 				// Close (opDrain) can move the shard clock past the
 				// router's; skipping a stale advance keeps it a no-op.
@@ -184,6 +196,14 @@ type Engine struct {
 	syncEvery int
 	sinceSync int
 
+	// obsPend accumulates each shard's routed observations into a pooled
+	// sub-batch, sealed into one opObsBatch envelope when full or when any
+	// other op must be ordered behind it — one channel payload per batch
+	// instead of one envelope per observation. sortScratch is the reused
+	// IngestBatch sort buffer.
+	obsPend     []event.Batch
+	sortScratch []event.Observation
+
 	intern *event.Interner
 
 	closed    bool
@@ -241,6 +261,7 @@ func New(cfg Config) (*Engine, error) {
 	e.intern = intern
 	e.workers = make([]*worker, part.NumShards())
 	e.pend = make([][]envelope, part.NumShards())
+	e.obsPend = make([]event.Batch, part.NumShards())
 	for s := 0; s < part.NumShards(); s++ {
 		b := graph.NewBuilder()
 		for _, r := range part.ByShard[s] {
@@ -308,8 +329,32 @@ func (e *Engine) Err() error {
 	return e.err
 }
 
-// push queues an envelope for shard s, flushing a full batch.
+// pushObs appends an observation to shard s's pending sub-batch, sealing
+// it into one envelope once it reaches the batch size.
+func (e *Engine) pushObs(s int, o event.Observation) {
+	b := e.obsPend[s]
+	if b == nil {
+		b = event.GetBatch()
+	}
+	b = append(b, o)
+	if len(b) >= e.batch {
+		e.obsPend[s] = nil
+		e.push(s, envelope{op: opObsBatch, batch: b})
+		return
+	}
+	e.obsPend[s] = b
+}
+
+// push queues an envelope for shard s, flushing a full batch. Any
+// non-observation op first seals the shard's pending observation
+// sub-batch so per-shard envelope order equals arrival order.
 func (e *Engine) push(s int, env envelope) {
+	if env.op != opObsBatch {
+		if b := e.obsPend[s]; len(b) > 0 {
+			e.obsPend[s] = nil
+			e.pend[s] = append(e.pend[s], envelope{op: opObsBatch, batch: b})
+		}
+	}
 	e.pend[s] = append(e.pend[s], env)
 	if len(e.pend[s]) >= e.batch {
 		e.flush(s)
@@ -336,16 +381,17 @@ func (e *Engine) Ingest(o event.Observation) error {
 	return e.ingestLocked(o)
 }
 
-// IngestBatch stably sorts a copy of the batch by timestamp and feeds it.
-// Like detect.Engine.IngestBatch the call is atomic with respect to
-// ordering failures: when the earliest observation precedes the engine's
-// current time, nothing is applied.
+// IngestBatch feeds a whole batch in timestamp order, taking the router
+// lock once. An already-sorted batch (the normal case — read cycles
+// arrive ordered) is routed in place with no copy; an unsorted one is
+// stably sorted into an engine-owned scratch buffer. Like
+// detect.Engine.IngestBatch the call is atomic with respect to ordering
+// failures: when the earliest observation precedes the engine's current
+// time, nothing is applied.
 func (e *Engine) IngestBatch(batch []event.Observation) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	sorted := append([]event.Observation(nil), batch...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -353,6 +399,12 @@ func (e *Engine) IngestBatch(batch []event.Observation) error {
 	}
 	if e.err != nil {
 		return e.err
+	}
+	sorted := batch
+	if !event.Batch(batch).Sorted() {
+		e.sortScratch = append(e.sortScratch[:0], batch...)
+		sorted = e.sortScratch
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 	}
 	if e.now != event.MinTime && sorted[0].At < e.now {
 		return fmt.Errorf("%w: batch starts at %s, engine at %s", detect.ErrOutOfOrder, sorted[0].At, e.now)
@@ -378,9 +430,8 @@ func (e *Engine) ingestLocked(o event.Observation) error {
 	e.now = o.At
 	e.idx++
 	e.ingested++
-	env := envelope{op: opObs, obs: o}
 	for _, s := range e.router.ShardsFor(o.Reader) {
-		e.push(s, env)
+		e.pushObs(s, o)
 	}
 	e.sinceSync++
 	if e.sinceSync >= e.syncEvery {

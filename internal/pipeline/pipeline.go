@@ -10,6 +10,11 @@
 // sharded engine (internal/core/shard, rcep Config.Shards > 1) fans the
 // serialized stream back out across its shard workers behind the same
 // Sink function; wrap it in a BatchSink to amortize the fan-out lock.
+//
+// RunBatches is the batched variant (DESIGN.md §12): channels carry whole
+// read-cycle batches (event.Batch), so every hop — source emit, stage
+// hand-off, sink call — costs one channel operation per read cycle
+// instead of per observation.
 package pipeline
 
 import (
@@ -277,6 +282,214 @@ func (b *BatchSink) Flush() error {
 	err := b.ingest(b.buf)
 	b.buf = b.buf[:0]
 	return err
+}
+
+// BatchSource produces whole observation batches — typically one per
+// reader read cycle (llrp.Adapter.BatchSink). Ownership of each emitted
+// batch transfers to the pipeline, which recycles it (event.PutBatch)
+// once consumed; sources drawing from the pool (event.GetBatch) make the
+// steady state allocation-free.
+type BatchSource func(ctx context.Context, emit func(event.Batch) error) error
+
+// BatchedConfig assembles a batched pipeline run: the same shape as
+// Config, but every channel carries a whole batch — one send, one
+// receive and one sink call per read cycle instead of per observation.
+type BatchedConfig struct {
+	Source BatchSource
+	// Stages are per-observation filters, applied to each batch's
+	// contents in order; a stage's output re-groups into pooled batches
+	// along the input batch boundaries (a dedup stage may shrink a
+	// batch, a reorder stage may hold observations back and release
+	// them grouped with a later batch — grouping is a transport
+	// granularity, not a semantic boundary).
+	Stages []StageFunc
+	// Sink consumes each surviving batch — typically the sharded
+	// engine's IngestBatch. The pipeline recycles the batch after Sink
+	// returns, so the sink must not retain the slice (copying
+	// observations out is fine; they are values).
+	Sink func(event.Batch) error
+	// Buffer is the channel capacity between goroutines, in batches
+	// (default 64).
+	Buffer int
+}
+
+// RunBatches executes a batched pipeline until the source ends or any
+// stage fails, with the same draining and error semantics as Run: a
+// source failure lets the stages flush everything already emitted before
+// RunBatches returns the *SourceError.
+func RunBatches(ctx context.Context, cfg BatchedConfig) error {
+	if cfg.Source == nil || cfg.Sink == nil {
+		return errors.New("pipeline: Source and Sink are required")
+	}
+	buf := cfg.Buffer
+	if buf <= 0 {
+		buf = 64
+	}
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nStages := len(cfg.Stages)
+	chans := make([]chan event.Batch, nStages+1)
+	for i := range chans {
+		chans[i] = make(chan event.Batch, buf)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		record(err)
+		cancel()
+	}
+	send := func(ch chan<- event.Batch) func(event.Batch) error {
+		return func(b event.Batch) error {
+			select {
+			case ch <- b:
+				return nil
+			case <-ctx.Done():
+				event.PutBatch(b)
+				return ctx.Err()
+			}
+		}
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chans[0])
+		if err := cfg.Source(ctx, send(chans[0])); err != nil && !errors.Is(err, context.Canceled) {
+			record(&SourceError{Err: err})
+		}
+	}()
+
+	// Stage goroutines: unpack each incoming batch through the
+	// per-observation stage, re-accumulate its output into a pooled
+	// batch, and ship that batch downstream — the channels stay one op
+	// per read cycle end to end.
+	for i, mk := range cfg.Stages {
+		in, out := chans[i], chans[i+1]
+		emit := send(out)
+		var pend event.Batch
+		stage := mk(func(o event.Observation) error {
+			if pend == nil {
+				pend = event.GetBatch()
+			}
+			pend = append(pend, o)
+			return nil
+		})
+		seal := func() error {
+			if len(pend) == 0 {
+				return nil
+			}
+			b := pend
+			pend = nil
+			return emit(b)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(out)
+			for {
+				select {
+				case b, ok := <-in:
+					if !ok {
+						if err := stage.Flush(); err != nil && !errors.Is(err, context.Canceled) {
+							fail(fmt.Errorf("pipeline: stage %d flush: %w", i, err))
+							return
+						}
+						if err := seal(); err != nil && !errors.Is(err, context.Canceled) {
+							fail(fmt.Errorf("pipeline: stage %d flush: %w", i, err))
+						}
+						return
+					}
+					var err error
+					for _, o := range b {
+						if err = stage.Push(o); err != nil {
+							break
+						}
+					}
+					event.PutBatch(b)
+					if err == nil {
+						err = seal()
+					}
+					if err != nil {
+						if !errors.Is(err, context.Canceled) {
+							fail(fmt.Errorf("pipeline: stage %d: %w", i, err))
+						}
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Sink goroutine: one call per batch; the batch recycles afterwards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := chans[nStages]
+		for {
+			select {
+			case b, ok := <-last:
+				if !ok {
+					return
+				}
+				err := cfg.Sink(b)
+				event.PutBatch(b)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: sink: %w", err))
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BatchSliceSource adapts pre-built batches into a BatchSource; each
+// element is copied into a pooled batch at emit time, so callers may
+// reuse the input.
+func BatchSliceSource(batches [][]event.Observation) BatchSource {
+	return func(ctx context.Context, emit func(event.Batch) error) error {
+		for _, obs := range batches {
+			b := event.GetBatch()
+			b = append(b, obs...)
+			if err := emit(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // SliceSource adapts a pre-built observation slice into a Source.

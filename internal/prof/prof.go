@@ -1,0 +1,86 @@
+// Package prof wires the standard Go profilers to command-line flags:
+// one call starts any of a CPU profile, a heap profile, and an execution
+// trace, and the returned stop function flushes them. The hot-path work
+// lives or dies by what pprof says, so the binaries that exercise it
+// (cmd/experiments, cmd/rcepd) expose these directly — see
+// docs/OPERATIONS.md ("Profiling") for how to read the output.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+)
+
+// Options names the profile output files; empty fields are off.
+type Options struct {
+	CPUProfile string // pprof CPU samples, written continuously until stop
+	MemProfile string // heap profile, captured at stop after a final GC
+	Trace      string // runtime execution trace, written continuously until stop
+}
+
+// Start begins the requested profiles. The returned stop function must
+// run at process exit to flush and close them — a profile abandoned by
+// os.Exit without stop is truncated (CPU, trace) or never written
+// (heap). stop is idempotent, so an error-path call and the deferred
+// one can coexist. Start cleans up after itself on error, so a failed
+// call needs no stop.
+func Start(o Options) (stop func(), err error) {
+	var cpu, tr *os.File
+	cleanup := func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if tr != nil {
+			trace.Stop()
+			tr.Close()
+		}
+	}
+	if o.CPUProfile != "" {
+		if cpu, err = os.Create(o.CPUProfile); err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			cpu = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if o.Trace != "" {
+		if tr, err = os.Create(o.Trace); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err = trace.Start(tr); err != nil {
+			tr.Close()
+			tr = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	memPath := o.MemProfile
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cleanup()
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		})
+	}, nil
+}

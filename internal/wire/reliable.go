@@ -53,6 +53,12 @@ type ReliableClient struct {
 	abortCh chan struct{} // closed exactly once on abort/terminal failure
 	doneCh  chan struct{} // closed when the connection manager exits
 	randf   func() float64
+
+	// batchOK is set when a hello ack advertises FeatureBatch. SendBatch
+	// uses whole-batch frames only after the capability is confirmed,
+	// falling back to single-observation frames otherwise — the
+	// protocol-compatible path against servers predating batch frames.
+	batchOK bool
 }
 
 // ReliableOptions tunes a ReliableClient. The zero value of every field
@@ -247,6 +253,39 @@ func (c *ReliableClient) Send(reader, object string, at time.Duration) error {
 	return err
 }
 
+// SendBatch streams one read cycle of observations through the reliable
+// feed. Once the server has advertised batch support (the hello ack's
+// features), the whole cycle travels as one sequenced frame — one seq,
+// one ack, one engine hand-off; against an older server, or before the
+// first hello ack arrives, it degrades to per-observation frames with
+// identical engine semantics. The input slice is not retained.
+func (c *ReliableClient) SendBatch(batch []BatchObs) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	useBatch := c.batchOK
+	c.mu.Unlock()
+	if useBatch {
+		_, err := c.enqueue(Message{Type: "batch", Batch: append([]BatchObs(nil), batch...)})
+		return err
+	}
+	for _, o := range batch {
+		if _, err := c.enqueue(Message{Type: "obs", Reader: o.Reader, Object: o.Object, AtNS: o.AtNS}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchNegotiated reports whether the server has advertised batch-frame
+// support on this feed yet (see SendBatch).
+func (c *ReliableClient) BatchNegotiated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchOK
+}
+
 // Advance moves the server's virtual clock forward, with the same
 // delivery guarantee as Send: advances change detection state (negation
 // windows close on them), so they are sequenced and replayed too.
@@ -301,20 +340,21 @@ func (c *ReliableClient) Shed() uint64 {
 	return c.shed
 }
 
-// shedOldestLocked drops the oldest sheddable ("obs") frame from the
-// ring, reporting whether a slot was freed. Only observations are safe
-// to shed: the server applies frames in seq order but tolerates seq
-// gaps, and a missing observation degrades coverage, while a missing
-// advance/assign/sync frame would corrupt protocol state.
+// shedOldestLocked drops the oldest sheddable ("obs" or "batch") frame
+// from the ring, reporting whether a slot was freed. Only observations
+// are safe to shed: the server applies frames in seq order but tolerates
+// seq gaps, and a missing observation (or whole read cycle) degrades
+// coverage, while a missing advance/assign/sync frame would corrupt
+// protocol state.
 func (c *ReliableClient) shedOldestLocked() bool {
 	if !c.opt.DropOldestOnFull {
 		return false
 	}
 	for i := range c.ring {
-		if c.ring[i].Type == "obs" {
+		if c.ring[i].Type == "obs" || c.ring[i].Type == "batch" {
 			dropped := c.ring[i]
 			c.ring = append(c.ring[:i], c.ring[i+1:]...)
-			c.shed++
+			c.shed += shedCost(dropped)
 			if cb := c.opt.OnShed; cb != nil {
 				cb(dropped)
 			}
@@ -636,6 +676,15 @@ func (c *ReliableClient) session(conn net.Conn) bool {
 			}
 			switch m.Type {
 			case "ack":
+				if len(m.Features) > 0 {
+					c.mu.Lock()
+					for _, f := range m.Features {
+						if f == FeatureBatch {
+							c.batchOK = true
+						}
+					}
+					c.mu.Unlock()
+				}
 				c.handleAck(m.Seq)
 			case "fire":
 				c.mu.Lock()

@@ -7,6 +7,7 @@
 // Client → server messages:
 //
 //	{"type":"obs","reader":"r1","object":"o1","at_ns":1000000000}
+//	{"type":"batch","batch":[{"reader":"r1","object":"o1","at_ns":N},...]}
 //	{"type":"advance","at_ns":5000000000}   // idle-time progress
 //	{"type":"query","sql":"SELECT ..."}
 //	{"type":"hello","client_id":"edge1"}    // reliable feed resume probe
@@ -22,6 +23,14 @@
 //	{"type":"ping"}                         // keepalive probe
 //	{"type":"error","msg":"..."}
 //	{"type":"stats","observations":N,"detections":M,"shards":K}   // reply to bye
+//
+// Batch frames carry one read cycle of observations (DESIGN.md §12) under
+// a single sequence number: one JSON frame, one dedupe decision and one
+// engine hand-off per reader report instead of per tag. The reply to a
+// hello frame advertises the server's support in "features", so a
+// reliable client can fall back to single-observation frames against an
+// older server; the frame's observations apply in order, exactly as the
+// equivalent run of obs frames would.
 //
 // Reliable delivery: obs/advance frames may carry client_id and a
 // monotonically increasing seq (starting at 1). The server applies each
@@ -56,7 +65,17 @@ type Message struct {
 	Object string `json:"object,omitempty"`
 	AtNS   int64  `json:"at_ns"`
 
-	// reliable delivery (obs/advance/hello/ack)
+	// batch: one read cycle of observations under one seq. Bounded by
+	// MaxBatchFrame; an oversized frame is rejected before its seq is
+	// claimed, so the sender can re-chunk and resend without a gap.
+	Batch []BatchObs `json:"batch,omitempty"`
+
+	// ack (reply to hello): protocol capabilities of the serving peer.
+	// Absent on older servers — the negotiation that keeps batch frames
+	// protocol-compatible.
+	Features []string `json:"features,omitempty"`
+
+	// reliable delivery (obs/advance/batch/hello/ack)
 	ClientID string `json:"client_id,omitempty"`
 	Seq      uint64 `json:"seq,omitempty"`
 
@@ -102,6 +121,22 @@ type Message struct {
 	CDets  []ClusterDet    `json:"cdets,omitempty"`
 }
 
+// BatchObs is one observation inside a batch frame.
+type BatchObs struct {
+	Reader string `json:"reader"`
+	Object string `json:"object"`
+	AtNS   int64  `json:"at_ns"`
+}
+
+// MaxBatchFrame bounds the observations one batch frame may carry; a
+// malicious or buggy sender cannot force an unbounded allocation or an
+// arbitrarily long engine stall under the ingest lock.
+const MaxBatchFrame = 65536
+
+// FeatureBatch is the hello-ack feature string advertising batch-frame
+// support.
+const FeatureBatch = "batch"
+
 // ClusterDet is one detection shipped from a cluster worker to the
 // coordinator at a delivery barrier. Dseq is the worker-side per-shard
 // detection counter: it survives checkpoint handoff, so the coordinator
@@ -124,15 +159,16 @@ type Server struct {
 	// emu serializes engine access; cmu guards the client registry.
 	// They are distinct because rule firings broadcast while the engine
 	// lock is held.
-	emu     sync.Mutex
-	cmu     sync.Mutex
-	eng     *rcep.Engine
-	ingest  func(event.Observation) error // stage chain ending in the engine
-	flush   func() error                  // reorder flush, when configured
-	clients map[*clientConn]bool
-	closing bool
-	wg      sync.WaitGroup // live connection handlers
-	opts    serverOpts
+	emu         sync.Mutex
+	cmu         sync.Mutex
+	eng         *rcep.Engine
+	ingest      func(event.Observation) error // stage chain ending in the engine
+	ingestBatch func(event.Batch) error       // whole-batch path (direct when no stages)
+	flush       func() error                  // reorder flush, when configured
+	clients     map[*clientConn]bool
+	closing     bool
+	wg          sync.WaitGroup // live connection handlers
+	opts        serverOpts
 
 	// seqMu guards lastSeq: highest sequence number applied per client
 	// ID. The map outlives individual connections so a reconnecting
@@ -295,14 +331,38 @@ func NewServer(cfg rcep.Config, opts ...Option) (*Server, error) {
 		s.ingest = r.Push
 		s.flush = r.Flush
 	}
+	hasStages := so.dedupWindow > 0 || so.reorderSlack > 0
 	// Canonicalize at the very head of the chain: every JSON frame
 	// decodes fresh reader/object strings, and interning them here means
 	// the dedup window, the reorder buffer and all engine state share one
 	// instance per distinct value instead of one per frame.
-	if intern := eng.Interner(); intern != nil {
+	intern := eng.Interner()
+	if intern != nil {
 		next := s.ingest
 		s.ingest = func(o event.Observation) error {
 			return next(intern.CanonObservation(o))
+		}
+	}
+	// Batch frames take the whole-batch engine path when no per-obs
+	// filter stage is configured; with stages the batch unpacks through
+	// the same chain singles use, so filtering semantics are identical
+	// either way.
+	if hasStages {
+		s.ingestBatch = func(b event.Batch) error {
+			for _, o := range b {
+				if err := s.ingest(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	} else {
+		s.ingestBatch = func(b event.Batch) error {
+			b.Canon(intern)
+			if err := eng.IngestEvents(b); err != nil {
+				return err
+			}
+			return eng.Flush()
 		}
 	}
 	if so.admitCap > 0 {
@@ -494,7 +554,14 @@ func (s *Server) handle(conn net.Conn) {
 			return // disconnect, deadline expiry, or garbage: drop the connection
 		}
 		switch m.Type {
-		case "obs", "advance":
+		case "obs", "advance", "batch":
+			// An oversized batch is rejected before its seq is claimed:
+			// the sender can re-chunk and resend under the same seq
+			// without leaving a dedupe gap.
+			if len(m.Batch) > MaxBatchFrame {
+				reply(Message{Type: "error", Msg: fmt.Sprintf("batch of %d observations exceeds limit %d", len(m.Batch), MaxBatchFrame)})
+				continue
+			}
 			// Sequenced frames apply at most once per (client_id, seq);
 			// stale replays are dropped but still acked so the sender
 			// can release its buffer.
@@ -513,11 +580,12 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			s.applyFrame(cc, m)
 		case "hello":
-			// Resume probe: tell the client how far this feed already got.
+			// Resume probe: tell the client how far this feed already got,
+			// and which protocol extensions this server speaks.
 			if m.ClientID != "" {
 				cc.ids[m.ClientID] = true
 			}
-			reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID)})
+			reply(Message{Type: "ack", Seq: s.ackedSeq(m.ClientID), Features: []string{FeatureBatch}})
 		case "ping":
 			// Client-side keepalive probe (ReliableOptions.Keepalive).
 			reply(Message{Type: "pong"})
@@ -560,11 +628,23 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) applyFrame(cc *clientConn, m Message) {
 	var err error
 	s.emu.Lock()
-	if m.Type == "obs" {
+	switch m.Type {
+	case "obs":
 		err = s.ingest(event.Observation{
 			Reader: m.Reader, Object: m.Object, At: event.Time(m.AtNS),
 		})
-	} else {
+	case "batch":
+		// One pooled batch per frame; the engine path consumes it
+		// synchronously, so it recycles immediately.
+		b := event.GetBatch()
+		for _, o := range m.Batch {
+			b = append(b, event.Observation{Reader: o.Reader, Object: o.Object, At: event.Time(o.AtNS)})
+		}
+		if len(b) > 0 {
+			err = s.ingestBatch(b)
+		}
+		event.PutBatch(b)
+	default:
 		if s.flush != nil {
 			err = s.flush()
 		}
@@ -594,8 +674,8 @@ func (s *Server) admitFrame(cc *clientConn, m Message) {
 		if a.drop {
 			if i := oldestSheddable(a.q); i >= 0 {
 				dropped = append(dropped, a.q[i])
+				a.shed += shedCost(a.q[i].m)
 				a.q = append(a.q[:i], a.q[i+1:]...)
-				a.shed++
 				continue
 			}
 		}
@@ -617,13 +697,25 @@ func (s *Server) admitFrame(cc *clientConn, m Message) {
 	}
 }
 
+// oldestSheddable finds the oldest coverage-only frame: observations and
+// observation batches may be shed, advance frames never (they carry clock
+// state).
 func oldestSheddable(q []admitted) int {
 	for i := range q {
-		if q[i].m.Type == "obs" {
+		if q[i].m.Type == "obs" || q[i].m.Type == "batch" {
 			return i
 		}
 	}
 	return -1
+}
+
+// shedCost is how many observations dropping a frame costs — what the
+// shed counter (a count of observations, not frames) advances by.
+func shedCost(m Message) uint64 {
+	if m.Type == "batch" {
+		return uint64(len(m.Batch))
+	}
+	return 1
 }
 
 // pump drains the admission queue into the engine in arrival order,
@@ -774,6 +866,17 @@ func (c *Client) write(m Message) error {
 // Send streams one observation.
 func (c *Client) Send(reader, object string, at time.Duration) error {
 	return c.write(Message{Type: "obs", Reader: reader, Object: object, AtNS: int64(at)})
+}
+
+// SendBatch streams one read cycle of observations as a single batch
+// frame. The server must support batch frames (any server of this
+// version; see FeatureBatch) — for negotiated fallback against older
+// servers use ReliableClient.SendBatch.
+func (c *Client) SendBatch(batch []BatchObs) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.write(Message{Type: "batch", Batch: batch})
 }
 
 // Advance moves the server's virtual clock forward.

@@ -400,6 +400,14 @@ func (e *Engine) IngestBatch(batch []Observation) error {
 	return e.core.IngestBatch(obs)
 }
 
+// IngestEvents feeds a batch already in the core observation type, with
+// IngestBatch's ordering semantics but no conversion copy — the zero-alloc
+// hand-off the wire server and LLRP adapters use (DESIGN.md §12). The
+// engine does not retain the slice.
+func (e *Engine) IngestEvents(batch []event.Observation) error {
+	return e.core.IngestBatch(batch)
+}
+
 // AdvanceTo moves virtual time forward with no observations, letting
 // negation windows and sequence closures expire (e.g. outfield events).
 func (e *Engine) AdvanceTo(at time.Duration) error {
